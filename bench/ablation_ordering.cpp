@@ -1,0 +1,82 @@
+// Ablation: matrix preprocessing for ILUT — natural vs RCM ordering, raw
+// vs Ruiz-equilibrated values. ILUT's dual dropping rules are sensitive to
+// both (its relative threshold compares magnitudes within a row; its fill
+// pattern follows the elimination order), so these classic preprocessing
+// steps change preconditioner quality at fixed (m, t) memory budgets.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ptilu/graph/rcm.hpp"
+#include "ptilu/ilu/ilut.hpp"
+#include "ptilu/krylov/gmres.hpp"
+#include "ptilu/sparse/scaling.hpp"
+#include "ptilu/support/timer.hpp"
+
+namespace ptilu::bench {
+namespace {
+
+struct Prepared {
+  Csr a;
+  RealVec b;
+};
+
+void run_matrix(const std::string& name, const Csr& matrix, const FactorConfig& config) {
+  std::cout << "\n=== Ablation: ordering & scaling for ILUT — " << name << " ("
+            << workloads::describe(workloads::matrix_stats(matrix)) << ") ===\n";
+  std::cout << "configuration ILUT(" << config.m << "," << format_sci(config.tau, 0)
+            << "), GMRES(30), rtol 1e-5\n";
+
+  const auto prepare = [&](bool use_rcm, bool use_scaling) -> Prepared {
+    Csr a = matrix;
+    if (use_scaling) a = equilibrate(a).scaled;
+    if (use_rcm) a = permute_symmetric(a, rcm_ordering(graph_from_pattern(a)));
+    RealVec b = workloads::rhs_all_ones_solution(a);
+    return {std::move(a), std::move(b)};
+  };
+
+  Table table({"preprocessing", "bandwidth", "nnz(L)+nnz(U)", "GMRES NMV"});
+  const struct {
+    const char* label;
+    bool rcm, scaling;
+  } variants[] = {{"natural", false, false},
+                  {"RCM", true, false},
+                  {"equilibrated", false, true},
+                  {"RCM + equilibrated", true, true}};
+  for (const auto& variant : variants) {
+    const Prepared prep = prepare(variant.rcm, variant.scaling);
+    const IluFactors f =
+        ilut(prep.a, {.m = config.m, .tau = config.tau, .pivot_rel = 1e-12});
+    RealVec x(prep.a.n_rows, 0.0);
+    const GmresResult result =
+        gmres(prep.a, IluPreconditioner(f), prep.b, x,
+              {.restart = 30, .max_matvecs = 20000});
+    table.row()
+        .cell(variant.label)
+        .cell(static_cast<long long>(bandwidth(prep.a)))
+        .cell(static_cast<long long>(f.l.nnz() + f.u.nnz()))
+        .cell(static_cast<long long>(result.converged ? result.matvecs : -1));
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace ptilu::bench
+
+int main(int argc, char** argv) {
+  using namespace ptilu;
+  using namespace ptilu::bench;
+  const Cli cli(argc, argv);
+  const Scale scale = scale_from_cli(cli);
+  const idx m = static_cast<idx>(cli.get_int("m", 10));
+  const real tau = cli.get_double("tau", 1e-3);
+  cli.check_all_consumed();
+
+  WallTimer timer;
+  run_matrix("G0", build_g0(scale).a, {m, tau});
+  run_matrix("JUMP2D", workloads::jump_coefficient_2d(
+                           scale.g0_nx / 2, scale.g0_ny / 2, 5.0, 7),
+             {m, tau});
+  std::cout << "\n[ablation_ordering wall time: " << format_fixed(timer.seconds(), 1)
+            << "s]\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Shared pieces of the table/figure reproduction harnesses: the two test
+// matrices (G0 and TORSO analogues — see DESIGN.md §1 for the
+// substitutions), the paper's nine (m, t) factorization configurations,
+// and small formatting helpers.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ptilu/dist/distcsr.hpp"
+#include "ptilu/graph/graph.hpp"
+#include "ptilu/part/partition.hpp"
+#include "ptilu/pilut/pilut.hpp"
+#include "ptilu/sparse/csr.hpp"
+#include "ptilu/support/cli.hpp"
+#include "ptilu/support/table.hpp"
+#include "ptilu/workloads/grids.hpp"
+#include "ptilu/workloads/rhs.hpp"
+#include "ptilu/workloads/torso.hpp"
+
+namespace ptilu::bench {
+
+/// One (m, t) configuration of Table 1/2/3. The paper sweeps
+/// m in {5, 10, 20} x t in {1e-2, 1e-4, 1e-6}.
+struct FactorConfig {
+  idx m;
+  real tau;
+};
+
+inline std::vector<FactorConfig> paper_configs() {
+  std::vector<FactorConfig> configs;
+  for (const real tau : {1e-2, 1e-4, 1e-6}) {
+    for (const idx m : {5, 10, 20}) configs.push_back({m, tau});
+  }
+  return configs;
+}
+
+/// "ILUT(10,1e-4)" / "ILUT*(10,1e-4,2)" labels as in the paper's tables.
+inline std::string config_label(const FactorConfig& config, idx cap_k) {
+  std::string label = cap_k > 0 ? "ILUT*(" : "ILUT(";
+  label += std::to_string(config.m);
+  label += ',';
+  label += format_sci(config.tau, 0);
+  if (cap_k > 0) {
+    label += ',';
+    label += std::to_string(cap_k);
+  }
+  label += ')';
+  return label;
+}
+
+/// Scale presets: --quick (CI-sized), default (fits the full sweep in
+/// minutes on one host), --paper (the paper's problem sizes; slow because
+/// the 128-way runs are simulated on one core).
+struct Scale {
+  idx g0_nx = 240, g0_ny = 240;      // paper scale: 57,600 unknowns
+  idx torso_nx = 28, torso_ny = 28, torso_nz = 40;
+};
+
+inline Scale scale_from_cli(const Cli& cli) {
+  Scale scale;
+  if (cli.get_bool("quick", false)) {
+    scale = {96, 96, 16, 16, 24};
+  } else if (cli.get_bool("paper", false)) {
+    scale = {240, 240, 56, 56, 78};  // TORSO analogue ~112k nodes
+  }
+  return scale;
+}
+
+struct TestMatrix {
+  std::string name;
+  Csr a;
+};
+
+inline TestMatrix build_g0(const Scale& scale) {
+  // Centered-difference convection-diffusion: mild convection keeps the
+  // matrix nonsymmetric so the threshold rules have real work to do.
+  return {"G0", workloads::convection_diffusion_2d(scale.g0_nx, scale.g0_ny, 10.0, 20.0)};
+}
+
+inline TestMatrix build_torso(const Scale& scale) {
+  workloads::TorsoOptions opts;
+  opts.nx = scale.torso_nx;
+  opts.ny = scale.torso_ny;
+  opts.nz = scale.torso_nz;
+  return {"TORSO", workloads::fem_torso_3d(opts).a};
+}
+
+/// Partition + distribute for a given processor count.
+inline DistCsr distribute(const Csr& a, int nranks, std::uint64_t seed = 1) {
+  const Graph g = graph_from_pattern(a);
+  const Partition p = partition_kway(g, nranks, {.seed = seed});
+  return DistCsr::create(a, p);
+}
+
+inline void print_header(const std::string& title, const TestMatrix& matrix) {
+  const auto stats = workloads::matrix_stats(matrix.a);
+  std::cout << "\n=== " << title << " — " << matrix.name << " ("
+            << workloads::describe(stats) << ") ===\n";
+}
+
+}  // namespace ptilu::bench

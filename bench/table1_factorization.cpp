@@ -1,0 +1,101 @@
+// Reproduces Table 1 (parallel factorization run time for ILUT(m,t) and
+// ILUT*(m,t,2) on G0 and TORSO at p = 16, 32, 64, 128) and Figures 4/5
+// (speedup relative to 16 processors), plus the §6 epilogue on
+// independent-set counts. Times are the modeled parallel run times of the
+// simulated Cray T3D (DESIGN.md §1, §4); wall-clock speedups cannot be
+// measured on this single-core host, but the modeled times execute the
+// real algorithm and communication pattern.
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "ptilu/sim/machine.hpp"
+#include "ptilu/support/timer.hpp"
+
+namespace ptilu::bench {
+namespace {
+
+struct RunResult {
+  double time = 0;
+  int levels = 0;
+  nnz_t max_reduced_row = 0;
+};
+
+void run_matrix(const TestMatrix& matrix, const std::vector<int>& procs,
+                const std::vector<FactorConfig>& configs, idx star_k) {
+  print_header("Table 1: factorization time (modeled seconds)", matrix);
+
+  // dist structures per processor count (partitioning is reused across
+  // configurations, as the paper does).
+  std::map<int, DistCsr> dists;
+  for (const int p : procs) dists.emplace(p, distribute(matrix.a, p));
+
+  std::vector<std::string> headers = {"Factorization"};
+  for (const int p : procs) headers.push_back("p=" + std::to_string(p));
+  Table table(headers);
+  Table speedup_table(headers);  // Figures 4/5: speedup relative to procs[0]
+  std::map<std::pair<std::string, int>, RunResult> results;
+
+  for (const idx cap_k : {idx{0}, star_k}) {
+    for (const auto& config : configs) {
+      const std::string label = config_label(config, cap_k);
+      auto row = table.row();
+      row.cell(label);
+      auto srow = speedup_table.row();
+      srow.cell(label);
+      double base_time = 0;
+      for (const int p : procs) {
+        sim::Machine machine(p);
+        const PilutResult result = pilut_factor(
+            machine, dists.at(p),
+            {.m = config.m, .tau = config.tau, .cap_k = cap_k, .pivot_rel = 1e-12});
+        results[{label, p}] = {result.stats.time_total, result.stats.levels,
+                               result.stats.max_reduced_row};
+        if (p == procs.front()) base_time = result.stats.time_total;
+        row.cell(result.stats.time_total, 4);
+        srow.cell(base_time / result.stats.time_total, 2);
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nFigure " << (matrix.name == "G0" ? "4" : "5")
+            << ": factorization speedup relative to p=" << procs.front() << "\n";
+  speedup_table.print(std::cout);
+
+  // §6 epilogue: number of independent sets (q) and reduced-row density.
+  std::cout << "\nIndependent sets (q) and densest reduced row, p=" << procs.back() << ":\n";
+  Table qtable({"Factorization", "levels q", "max reduced row"});
+  for (const idx cap_k : {idx{0}, star_k}) {
+    for (const auto& config : configs) {
+      const std::string label = config_label(config, cap_k);
+      const RunResult& r = results[{label, procs.back()}];
+      qtable.row().cell(label).cell(static_cast<long long>(r.levels)).cell(
+          static_cast<long long>(r.max_reduced_row));
+    }
+  }
+  qtable.print(std::cout);
+}
+
+}  // namespace
+}  // namespace ptilu::bench
+
+int main(int argc, char** argv) {
+  using namespace ptilu;
+  using namespace ptilu::bench;
+  const Cli cli(argc, argv);
+  const Scale scale = scale_from_cli(cli);
+  const auto procs = cli.get_int_list("procs", {16, 32, 64, 128});
+  const idx star_k = static_cast<idx>(cli.get_int("k", 2));
+  const bool skip_torso = cli.get_bool("skip-torso", false);
+  const bool skip_g0 = cli.get_bool("skip-g0", false);
+  cli.check_all_consumed();
+
+  const auto configs = paper_configs();
+  WallTimer timer;
+  if (!skip_g0) run_matrix(build_g0(scale), procs, configs, star_k);
+  if (!skip_torso) run_matrix(build_torso(scale), procs, configs, star_k);
+  std::cout << "\n[table1 harness wall time: " << format_fixed(timer.seconds(), 1)
+            << "s]\n";
+  return 0;
+}

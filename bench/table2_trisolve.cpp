@@ -1,0 +1,127 @@
+// Reproduces Table 2 (forward+backward substitution time on TORSO for all
+// 18 factorizations, plus the matrix-vector product row), Figure 6 (solve
+// speedup relative to 16 processors), and the §6 MFLOP-rate epilogue
+// comparing the triangular solves with SpMV. Modeled times, as in Table 1.
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "ptilu/pilut/trisolve_dist.hpp"
+#include "ptilu/sim/machine.hpp"
+#include "ptilu/support/timer.hpp"
+
+namespace ptilu::bench {
+namespace {
+
+void run_matrix(const TestMatrix& matrix, const std::vector<int>& procs,
+                const std::vector<FactorConfig>& configs, idx star_k) {
+  print_header("Table 2: forward+backward substitution time (modeled seconds)", matrix);
+
+  std::map<int, DistCsr> dists;
+  std::map<int, Halo> halos;
+  for (const int p : procs) {
+    dists.emplace(p, distribute(matrix.a, p));
+    halos.emplace(p, Halo::build(dists.at(p)));
+  }
+
+  std::vector<std::string> headers = {"Factorization"};
+  for (const int p : procs) headers.push_back("p=" + std::to_string(p));
+  Table table(headers);
+  Table speedup_table(headers);
+  const RealVec b(matrix.a.n_rows, 1.0);
+  RealVec x(matrix.a.n_rows), y(matrix.a.n_rows);
+
+  struct SolveData {
+    double time = 0;
+    std::uint64_t flops = 0;
+  };
+  std::map<std::pair<std::string, int>, SolveData> solves;
+
+  for (const idx cap_k : {idx{0}, star_k}) {
+    for (const auto& config : configs) {
+      const std::string label = config_label(config, cap_k);
+      auto row = table.row();
+      row.cell(label);
+      auto srow = speedup_table.row();
+      srow.cell(label);
+      double base_time = 0;
+      for (const int p : procs) {
+        sim::Machine machine(p);
+        const PilutResult result = pilut_factor(
+            machine, dists.at(p),
+            {.m = config.m, .tau = config.tau, .cap_k = cap_k, .pivot_rel = 1e-12});
+        const DistTriangularSolver solver(result.factors, result.schedule);
+        machine.reset();
+        solver.apply(machine, b, x);
+        solves[{label, p}] = {machine.modeled_time(), machine.total_counters().flops};
+        if (p == procs.front()) base_time = machine.modeled_time();
+        row.cell(machine.modeled_time(), 5);
+        srow.cell(base_time / machine.modeled_time(), 2);
+      }
+    }
+  }
+  // Matrix-vector product row (the paper's last row of Table 2).
+  {
+    auto row = table.row();
+    row.cell("Matrix-Vector");
+    std::map<int, SolveData> spmv_data;
+    for (const int p : procs) {
+      sim::Machine machine(p);
+      dist_spmv(machine, dists.at(p), halos.at(p), b, y);
+      spmv_data[p] = {machine.modeled_time(), machine.total_counters().flops};
+      row.cell(machine.modeled_time(), 5);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nFigure 6: substitution speedup relative to p=" << procs.front() << "\n";
+    speedup_table.print(std::cout);
+
+    // §6 epilogue: per-processor MFLOP rates of trisolve vs SpMV for the
+    // densest configuration, at the smallest and largest processor counts.
+    const std::string dense_plain = config_label(configs.back(), 0);
+    const std::string dense_star = config_label(configs.back(), star_k);
+    std::cout << "\nMFLOP-rate comparison (per processor), config "
+              << dense_plain << " / " << dense_star << ":\n";
+    Table mflops({"p", "SpMV Mflop/s", "ILUT solve", "ILUT* solve",
+                  "ILUT slowdown", "ILUT* slowdown"});
+    for (const int p : {procs.front(), procs.back()}) {
+      const auto rate = [&](const SolveData& d) {
+        return d.time > 0 ? static_cast<double>(d.flops) / d.time / 1e6 / p : 0.0;
+      };
+      const double spmv_rate = rate(spmv_data[p]);
+      const double plain_rate = rate(solves[{dense_plain, p}]);
+      const double star_rate = rate(solves[{dense_star, p}]);
+      mflops.row()
+          .cell(static_cast<long long>(p))
+          .cell(spmv_rate, 1)
+          .cell(plain_rate, 1)
+          .cell(star_rate, 1)
+          .cell(plain_rate > 0 ? spmv_rate / plain_rate : 0.0, 2)
+          .cell(star_rate > 0 ? spmv_rate / star_rate : 0.0, 2);
+    }
+    mflops.print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace ptilu::bench
+
+int main(int argc, char** argv) {
+  using namespace ptilu;
+  using namespace ptilu::bench;
+  const Cli cli(argc, argv);
+  const Scale scale = scale_from_cli(cli);
+  const auto procs = cli.get_int_list("procs", {16, 32, 64, 128});
+  const idx star_k = static_cast<idx>(cli.get_int("k", 2));
+  const bool with_g0 = cli.get_bool("with-g0", false);
+  cli.check_all_consumed();
+
+  const auto configs = paper_configs();
+  WallTimer timer;
+  // The paper's Table 2 reports TORSO only; --with-g0 adds the G0 series.
+  run_matrix(build_torso(scale), procs, configs, star_k);
+  if (with_g0) run_matrix(build_g0(scale), procs, configs, star_k);
+  std::cout << "\n[table2 harness wall time: " << format_fixed(timer.seconds(), 1)
+            << "s]\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: the five-minute tour of the library.
+//
+//   1. build a sparse matrix (2-D Poisson problem),
+//   2. partition it across 4 simulated processors,
+//   3. run the parallel ILUT* factorization,
+//   4. solve A x = b with GMRES using the factorization as preconditioner,
+//   5. print what happened.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "ptilu/dist/distcsr.hpp"
+#include "ptilu/graph/graph.hpp"
+#include "ptilu/krylov/gmres.hpp"
+#include "ptilu/pilut/pilut.hpp"
+#include "ptilu/sparse/vector_ops.hpp"
+#include "ptilu/workloads/grids.hpp"
+#include "ptilu/workloads/rhs.hpp"
+
+int main() {
+  using namespace ptilu;
+
+  // 1. A 64x64 Poisson problem with a bit of convection (4096 unknowns).
+  const Csr a = workloads::convection_diffusion_2d(64, 64, 8.0, 4.0);
+  const RealVec b = workloads::rhs_all_ones_solution(a);  // exact solution: all ones
+  std::printf("matrix: n=%d, nnz=%lld\n", a.n_rows, static_cast<long long>(a.nnz()));
+
+  // 2. Partition the adjacency graph into 4 domains and distribute rows.
+  const Graph graph = graph_from_pattern(a);
+  const Partition partition = partition_kway(graph, 4);
+  const DistCsr dist = DistCsr::create(a, partition);
+  std::printf("partition: edge cut=%lld, interface nodes=%d of %d\n",
+              edge_cut(graph, partition), dist.interface_count_total(), dist.n());
+
+  // 3. Parallel ILUT*(m=10, t=1e-4, k=2) on a 4-rank simulated machine.
+  sim::Machine machine(4);
+  const PilutResult factorization =
+      pilut_factor(machine, dist, {.m = 10, .tau = 1e-4, .cap_k = 2});
+  std::printf("factorization: %d independent-set levels, modeled time %.4fs, "
+              "fill factor %.2f\n",
+              factorization.stats.levels, factorization.stats.time_total,
+              factorization.factors.fill_factor(a.nnz()));
+
+  // 4. GMRES(20), left-preconditioned with the (permuted) parallel factors.
+  RealVec x(a.n_rows, 0.0);
+  const IluPreconditioner precond(factorization.factors, factorization.schedule.newnum);
+  const GmresResult result = gmres(a, precond, b, x, {.restart = 20});
+
+  // 5. Report.
+  RealVec ones(a.n_rows, 1.0);
+  std::printf("GMRES: converged=%s after %d matrix-vector products\n",
+              result.converged ? "yes" : "NO", result.matvecs);
+  std::printf("solution error vs exact: %.2e\n", max_abs_diff(x, ones));
+  return result.converged ? 0 : 1;
+}

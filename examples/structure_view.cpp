@@ -1,0 +1,86 @@
+// Reproduces Figure 3 of the paper as ASCII art: the block structure of
+// the L and U factors after the parallel ILUT ordering — per-rank interior
+// diagonal blocks followed by the independent-set levels, with off-diagonal
+// coupling blocks. Each character cell aggregates a sub-block of the
+// factor; density maps to ' . : * #'.
+//
+//   ./build/examples/structure_view --n=48 --procs=4 --cells=48
+#include <iostream>
+
+#include "ptilu/dist/distcsr.hpp"
+#include "ptilu/graph/graph.hpp"
+#include "ptilu/pilut/pilut.hpp"
+#include "ptilu/support/cli.hpp"
+#include "ptilu/workloads/grids.hpp"
+
+namespace {
+
+using namespace ptilu;
+
+void render(const Csr& matrix, idx cells, const PilutSchedule& sched,
+            const char* title) {
+  const idx n = matrix.n_rows;
+  std::vector<std::vector<nnz_t>> density(cells, std::vector<nnz_t>(cells, 0));
+  auto cell_of = [&](idx v) {
+    return std::min<idx>(cells - 1, static_cast<idx>(static_cast<long long>(v) * cells / n));
+  };
+  for (idx i = 0; i < n; ++i) {
+    for (nnz_t k = matrix.row_ptr[i]; k < matrix.row_ptr[i + 1]; ++k) {
+      ++density[cell_of(i)][cell_of(matrix.col_idx[k])];
+    }
+  }
+  nnz_t max_density = 1;
+  for (const auto& row : density) {
+    for (const nnz_t d : row) max_density = std::max(max_density, d);
+  }
+  std::cout << "\n" << title << " (each cell ~" << (n / cells) << " rows; '|' marks the"
+            << " interior/interface boundary)\n";
+  const idx boundary_cell = cell_of(sched.n_interior);
+  const char shades[] = {' ', '.', ':', '*', '#'};
+  for (idx r = 0; r < cells; ++r) {
+    for (idx c = 0; c < cells; ++c) {
+      if (c == boundary_cell && density[r][c] == 0) {
+        std::cout << '|';
+        continue;
+      }
+      const double level = static_cast<double>(density[r][c]) / static_cast<double>(max_density);
+      const int shade = density[r][c] == 0 ? 0
+                        : 1 + std::min(3, static_cast<int>(level * 4));
+      std::cout << shades[shade];
+    }
+    std::cout << (r == boundary_cell ? "  <- interface rows start" : "") << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ptilu;
+  const Cli cli(argc, argv);
+  const idx n_side = static_cast<idx>(cli.get_int("n", 48));
+  const int nranks = static_cast<int>(cli.get_int("procs", 4));
+  const idx cells = static_cast<idx>(cli.get_int("cells", 48));
+  const idx m = static_cast<idx>(cli.get_int("m", 10));
+  const real tau = cli.get_double("tau", 1e-4);
+  cli.check_all_consumed();
+
+  const Csr a = workloads::convection_diffusion_2d(n_side, n_side, 6.0, 3.0);
+  const Graph g = graph_from_pattern(a);
+  const Partition p = partition_kway(g, nranks);
+  const DistCsr dist = DistCsr::create(a, p);
+  sim::Machine machine(nranks);
+  const PilutResult result =
+      pilut_factor(machine, dist, {.m = m, .tau = tau, .pivot_rel = 1e-12});
+
+  std::cout << "parallel ILUT ordering of a " << n_side << "x" << n_side
+            << " grid over " << nranks << " processors: " << result.schedule.n_interior
+            << " interior rows (" << nranks << " blocks), "
+            << (a.n_rows - result.schedule.n_interior) << " interface rows in "
+            << result.stats.levels << " independent-set levels\n";
+  render(result.factors.l, cells, result.schedule, "L factor");
+  render(result.factors.u, cells, result.schedule, "U factor");
+  std::cout << "\nCompare with Figure 3 of the paper: per-processor interior\n"
+               "triangles on the diagonal, interface coupling confined to the\n"
+               "trailing rows/columns, level-structured blocks inside those.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Distributed maximal-independent-set computation (§4.1 of the paper).
+//
+// Luby's algorithm with a fixed number of augmentation rounds (the paper
+// uses 5: "the majority of the independent vertices are discovered during
+// the first few iterations"). Per-vertex random keys are stateless hashes
+// of (seed, vertex, round), so every rank evaluates the same key for any
+// vertex without communication; what *is* communicated — exactly as on a
+// real machine — is candidacy status: when a boundary vertex enters the
+// set or becomes dominated, its owner notifies the ranks owning its
+// neighbors. Selection ("my key is a strict local minimum among candidate
+// neighbors, ties by id") is evaluated from the same information on every
+// rank, which yields the same conflict-freedom the paper obtains with its
+// two-step insert-then-retract modification for unsymmetric structures;
+// the adjacency handed in must already be symmetrized (the PILUT driver
+// performs that exchange — the paper's "communication setup phase").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ptilu/sim/machine.hpp"
+#include "ptilu/support/types.hpp"
+
+namespace ptilu {
+
+/// A distributed graph over a subset of a global id space.
+struct DistGraph {
+  idx n_global = 0;                       ///< size of the global id space
+  const IdxVec* owner = nullptr;          ///< global id -> owning rank
+  std::vector<IdxVec> verts_of;           ///< rank -> owned active vertices (ascending)
+  std::vector<std::vector<IdxVec>> adj;   ///< [rank][i] -> neighbors of verts_of[rank][i]
+                                          ///< (global ids, symmetrized, active only)
+
+  idx total_vertices() const;
+  idx total_edges_directed() const;
+};
+
+struct DistMisOptions {
+  std::uint64_t seed = 1;
+  int rounds = 5;
+};
+
+/// Reusable dense per-rank status arrays. The PILUT driver calls mis_dist
+/// once per reduced-matrix level — hundreds to thousands of times — so the
+/// scratch is allocated once and reset via touched-lists between calls.
+struct DistMisScratch {
+  std::vector<std::vector<std::uint8_t>> status;  // [rank][global id]
+  std::vector<IdxVec> touched;                    // entries to reset per rank
+
+  void ensure(int nranks, idx n_global);
+};
+
+/// Compute an independent set of the distributed graph; returns the chosen
+/// global ids, ascending. With enough rounds the set is maximal. Never
+/// returns an empty set for a non-empty graph (the globally smallest key
+/// always wins its neighborhood in round 0).
+IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph,
+                const DistMisOptions& opts = {}, DistMisScratch* scratch = nullptr);
+
+}  // namespace ptilu

@@ -1,0 +1,26 @@
+// Greedy graph coloring. Used for the ILU(0)-style static concurrency
+// extraction the paper contrasts against (Figure 1) and as a reference in
+// tests: color classes of a symmetric pattern are independent sets.
+#pragma once
+
+#include "ptilu/graph/graph.hpp"
+#include "ptilu/support/types.hpp"
+
+namespace ptilu {
+
+struct Coloring {
+  IdxVec color;   // color of each vertex, in [0, num_colors)
+  idx num_colors = 0;
+
+  /// Vertices of a given color, ascending.
+  IdxVec color_class(idx c) const;
+};
+
+/// First-fit greedy coloring in the given vertex order (natural order if
+/// order is empty). Bounded by max degree + 1 colors.
+Coloring greedy_coloring(const Graph& g, const IdxVec& order = {});
+
+/// Validate that adjacent vertices never share a color.
+bool is_valid_coloring(const Graph& g, const Coloring& coloring);
+
+}  // namespace ptilu

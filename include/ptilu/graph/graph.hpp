@@ -1,0 +1,48 @@
+// Undirected graph in adjacency (CSR-like) form, as used by the
+// partitioner and the independent-set algorithms.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ptilu/sparse/csr.hpp"
+#include "ptilu/support/types.hpp"
+
+namespace ptilu {
+
+/// Adjacency-structure graph. Vertices carry integer weights (coarsening
+/// accumulates them); edges carry integer weights (number of collapsed
+/// original edges). Self-loops are never stored.
+struct Graph {
+  idx n = 0;
+  std::vector<nnz_t> xadj;   // size n + 1
+  IdxVec adjncy;             // size 2 * |E|
+  IdxVec vwgt;               // vertex weights, size n
+  IdxVec ewgt;               // edge weights, size adjncy.size()
+
+  nnz_t num_edges_directed() const { return static_cast<nnz_t>(adjncy.size()); }
+  idx degree(idx v) const { return static_cast<idx>(xadj[v + 1] - xadj[v]); }
+  std::span<const idx> neighbors(idx v) const {
+    return {adjncy.data() + xadj[v], static_cast<std::size_t>(degree(v))};
+  }
+
+  /// Total vertex weight.
+  long long total_vwgt() const;
+
+  /// Validate symmetry, no self-loops, in-range indices.
+  void validate() const;
+};
+
+/// Build the adjacency graph of a square matrix pattern: an edge {i, j}
+/// exists iff a_ij != 0 or a_ji != 0 (pattern symmetrized), diagonal
+/// ignored. Unit vertex and edge weights.
+Graph graph_from_pattern(const Csr& a);
+
+/// Build a graph from explicit edge list (u, v) pairs; duplicates merged
+/// with weights summed.
+Graph graph_from_edges(idx n, const std::vector<std::pair<idx, idx>>& edges);
+
+/// Number of connected components (used by workload sanity tests).
+idx count_components(const Graph& g);
+
+}  // namespace ptilu

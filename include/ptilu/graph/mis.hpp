@@ -1,0 +1,42 @@
+// Serial maximal-independent-set algorithms (Luby's randomized algorithm
+// and a greedy reference), plus verification helpers. The distributed
+// version used by the parallel factorization lives in ptilu/dist/mis_dist.hpp
+// and must agree with these on the same input (tested).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ptilu/graph/graph.hpp"
+#include "ptilu/support/types.hpp"
+
+namespace ptilu {
+
+struct MisOptions {
+  std::uint64_t seed = 1;
+  /// Number of Luby augmentation rounds; the paper uses 5 ("the majority of
+  /// the independent vertices are discovered during the first few
+  /// iterations"). Use a large value (e.g. 64) for a maximal set.
+  int rounds = 5;
+};
+
+/// Luby's algorithm restricted to the vertices marked active (active empty
+/// means all vertices). A vertex joins the set in a round when its random
+/// key is strictly smaller than every active non-dominated neighbor's key;
+/// it and its neighbors then leave candidacy. Returns the chosen vertices
+/// in ascending order.
+IdxVec luby_mis(const Graph& g, const MisOptions& opts = {},
+                const std::vector<bool>* active = nullptr);
+
+/// Greedy sequential MIS (ascending vertex order) — deterministic baseline.
+IdxVec greedy_mis(const Graph& g, const std::vector<bool>* active = nullptr);
+
+/// True if no two vertices of the set are adjacent in g.
+bool is_independent(const Graph& g, const IdxVec& set);
+
+/// True if the set is independent AND maximal (no active vertex outside the
+/// set could be added).
+bool is_maximal_independent(const Graph& g, const IdxVec& set,
+                            const std::vector<bool>* active = nullptr);
+
+}  // namespace ptilu

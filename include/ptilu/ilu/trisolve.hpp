@@ -1,0 +1,28 @@
+// Sequential triangular solves with ILU factors, and preconditioner
+// application (optionally under the symmetric permutation produced by the
+// parallel factorization).
+#pragma once
+
+#include <span>
+
+#include "ptilu/ilu/factors.hpp"
+#include "ptilu/support/types.hpp"
+
+namespace ptilu {
+
+/// Solve L y = b where L is unit lower triangular (diagonal implicit).
+void forward_solve(const Csr& l, std::span<const real> b, std::span<real> y);
+
+/// Solve U x = y where each U row stores its diagonal first.
+void backward_solve(const Csr& u, std::span<const real> y, std::span<real> x);
+
+/// x = U^{-1} L^{-1} b — apply M^{-1} for M = LU.
+void ilu_apply(const IluFactors& factors, std::span<const real> b, std::span<real> x);
+
+/// Apply factors that were computed on the permuted matrix P A P^T:
+/// x = P^{-1} U^{-1} L^{-1} P b, where new_of[old] is the permutation.
+/// This is how the PILUT preconditioner is used inside GMRES.
+void ilu_apply_permuted(const IluFactors& factors, const IdxVec& new_of,
+                        std::span<const real> b, std::span<real> x);
+
+}  // namespace ptilu

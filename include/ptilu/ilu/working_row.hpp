@@ -1,0 +1,60 @@
+// The dense working row with a companion nonzero list — the data structure
+// the ILUT paper (and Saad's SPARSKIT implementation) uses to accumulate
+// linear combinations of sparse rows during elimination. Shared by the
+// serial ILUT/ILU(k) factorizations and the simulated-parallel PILUT.
+#pragma once
+
+#include <vector>
+
+#include "ptilu/support/check.hpp"
+#include "ptilu/support/types.hpp"
+
+namespace ptilu {
+
+class WorkingRow {
+ public:
+  explicit WorkingRow(idx n) : value_(n, 0.0), present_(n, false) {}
+
+  idx capacity() const { return static_cast<idx>(value_.size()); }
+
+  bool present(idx c) const { return present_[c]; }
+  real value(idx c) const { return value_[c]; }
+
+  /// Introduce a column (must not be present yet).
+  void insert(idx c, real v) {
+    PTILU_ASSERT(!present_[c], "column " << c << " already present");
+    present_[c] = true;
+    value_[c] = v;
+    nonzeros_.push_back(c);
+  }
+
+  /// Add into an existing column (must be present).
+  void accumulate(idx c, real v) {
+    PTILU_ASSERT(present_[c], "column " << c << " not present");
+    value_[c] += v;
+  }
+
+  void set(idx c, real v) {
+    PTILU_ASSERT(present_[c], "column " << c << " not present");
+    value_[c] = v;
+  }
+
+  /// Columns touched since the last clear(), in insertion order.
+  const IdxVec& touched() const { return nonzeros_; }
+
+  /// Sparse O(touched) reset.
+  void clear() {
+    for (const idx c : nonzeros_) {
+      value_[c] = 0.0;
+      present_[c] = false;
+    }
+    nonzeros_.clear();
+  }
+
+ private:
+  RealVec value_;
+  std::vector<bool> present_;
+  IdxVec nonzeros_;
+};
+
+}  // namespace ptilu

@@ -1,0 +1,52 @@
+// Multilevel k-way graph partitioning, the domain-decomposition substrate
+// of the parallel ILUT algorithm (the paper uses the authors' own parallel
+// multilevel k-way scheme [Karypis & Kumar 96]; we implement the same
+// family: heavy-edge-matching coarsening, greedy-growing initial
+// partitions, and boundary Fiduccia–Mattheyses refinement, driven by
+// recursive bisection).
+#pragma once
+
+#include <cstdint>
+
+#include "ptilu/graph/graph.hpp"
+#include "ptilu/support/types.hpp"
+
+namespace ptilu {
+
+struct PartitionOptions {
+  std::uint64_t seed = 1;
+  /// Stop coarsening a bisection problem once at most this many vertices
+  /// remain (or coarsening stalls).
+  idx coarsen_to = 120;
+  /// FM passes per uncoarsening level.
+  int refine_passes = 6;
+  /// Allowed imbalance: heaviest part may carry at most tol × ideal weight.
+  double imbalance_tol = 1.05;
+};
+
+struct Partition {
+  idx nparts = 0;
+  IdxVec part;  // part id of each vertex, in [0, nparts)
+
+  void validate(idx n) const;
+};
+
+/// Partition g into nparts balanced pieces minimizing edge-cut.
+Partition partition_kway(const Graph& g, idx nparts, const PartitionOptions& opts = {});
+
+/// Trivial partitioners used as ablation baselines.
+Partition partition_block(const Graph& g, idx nparts);                       // contiguous ranges
+Partition partition_random(const Graph& g, idx nparts, std::uint64_t seed);  // shuffled round-robin
+
+/// Sum of edge weights crossing between parts (each undirected edge once).
+long long edge_cut(const Graph& g, const Partition& p);
+
+/// Heaviest part weight divided by ideal (total/nparts); 1.0 is perfect.
+double imbalance(const Graph& g, const Partition& p);
+
+/// Number of interface vertices: vertices with at least one neighbor in a
+/// different part. This is the quantity that drives the parallel ILUT
+/// algorithm's distributed phase.
+idx count_interface(const Graph& g, const Partition& p);
+
+}  // namespace ptilu

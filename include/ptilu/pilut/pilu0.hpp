@@ -1,0 +1,28 @@
+// Parallel ILU(0) — the static-sparsity-pattern baseline the paper
+// contrasts with (§3, Figure 1a; see also Ma & Saad's distributed ILU(0)).
+//
+// Because ILU(0) allows no fill, the sparsity structure of every reduced
+// interface matrix is known a priori: a single greedy coloring of the
+// interface adjacency graph yields all the concurrent sets at once, and
+// each color class plays the role of one independent-set level. The
+// factorization reuses the PILUT schedule format, so the same parallel
+// triangular solver (DistTriangularSolver) applies the preconditioner.
+#pragma once
+
+#include "ptilu/dist/distcsr.hpp"
+#include "ptilu/pilut/pilut.hpp"
+#include "ptilu/sim/machine.hpp"
+
+namespace ptilu {
+
+struct Pilu0Options {
+  real pivot_rel = 0.0;  ///< pivot guard, as in IlutOptions
+};
+
+/// Run the parallel zero-fill factorization. Returns factors of P A P^T in
+/// the same PilutResult shape as pilut_factor; stats.levels is the number
+/// of colors used for the interface nodes.
+PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
+                         const Pilu0Options& opts = {});
+
+}  // namespace ptilu

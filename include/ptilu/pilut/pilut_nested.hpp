@@ -1,0 +1,48 @@
+// Nested (partition-based) parallel ILUT — the alternative formulation the
+// paper sketches in its conclusions (§7):
+//
+//   "an alternative parallel formulation can be developed that utilizes
+//    graph partitioning to extract concurrency instead of independent sets
+//    of rows. Such a scheme will compute a p-way partitioning of the graph
+//    corresponding to the interface rows (A_I). Then, the rows that are
+//    internal to each domain will be factored concurrently and the second
+//    level reduced matrix corresponding to the new interface nodes can be
+//    formed. These reduced matrices can now be factored in a similar
+//    fashion."
+//
+// Phase 1 (interior) is identical to pilut_factor. The interface stage
+// then recursively re-partitions the current reduced matrix: each
+// sub-domain's rows migrate to a host rank (the migration traffic is
+// charged to the cost model), hosts factor their sub-interior blocks
+// concurrently — sequential ILUT inside a block, zero communication across
+// blocks — and the rows on sub-domain boundaries form the next reduced
+// matrix. When the reduced system becomes too small to partition profitably
+// (or the depth cap is reached) the remainder is gathered and factored
+// sequentially on rank 0, the classic top-of-the-tree fallback.
+//
+// Compared to the independent-set formulation this trades the many small
+// synchronization levels (one per MIS) for a few bulk stages — attractive
+// for dense reduced matrices on high-latency networks — at the price of
+// data migration and a sequential tail.
+#pragma once
+
+#include "ptilu/dist/distcsr.hpp"
+#include "ptilu/pilut/pilut.hpp"
+#include "ptilu/sim/machine.hpp"
+
+namespace ptilu {
+
+struct NestedOptions {
+  int max_depth = 8;          ///< recursion cap on interface re-partitioning
+  idx sequential_cutoff = 64; ///< gather-and-solve once this few rows remain
+};
+
+/// Run the nested parallel factorization. The result has the same shape as
+/// pilut_factor; stats.levels counts the nesting stages (including the
+/// final sequential stage). schedule levels may contain rows with same-rank
+/// sequential dependencies — DistTriangularSolver handles those.
+PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
+                                const PilutOptions& opts = {},
+                                const NestedOptions& nested = {});
+
+}  // namespace ptilu

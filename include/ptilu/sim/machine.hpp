@@ -1,0 +1,155 @@
+// Simulated distributed-memory machine.
+//
+// The paper's experiments ran on a 128-processor Cray T3D. This host has a
+// single core and no MPI, so the parallel algorithms in this library run on
+// a deterministic BSP-style simulator instead: every rank executes the same
+// SPMD code against explicit per-rank message queues, and a cost model
+// (per-flop time, per-byte memory-copy time, message latency alpha and
+// per-byte cost beta) accumulates *modeled* time per rank. A superstep
+// barrier synchronizes the per-rank clocks to the maximum. The algorithms
+// therefore execute exactly the computation and communication pattern they
+// would on a real machine — who computes what, what crosses the network,
+// how many synchronization points occur — and the modeled clock stands in
+// for wall-clock. See DESIGN.md §1 and §4 for the substitution rationale
+// and the T3D calibration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ptilu/support/check.hpp"
+#include "ptilu/support/types.hpp"
+
+namespace ptilu::sim {
+
+/// Cost-model parameters, all in seconds.
+struct MachineParams {
+  double flop = 40e-9;    ///< time per floating-point operation (~25 Mflop/s sustained)
+  double mem = 5e-9;      ///< time per byte copied within local memory (~200 MB/s)
+  double alpha = 2e-6;    ///< per-message latency
+  double beta = 6.7e-9;   ///< per-byte network cost (~150 MB/s links)
+
+  /// Calibration approximating one Cray T3D node (150 MHz Alpha EV4).
+  static MachineParams cray_t3d() { return MachineParams{}; }
+
+  /// A "workstation cluster" profile the paper's conclusions mention:
+  /// similar compute, far slower network (Ethernet-class latency/bandwidth).
+  static MachineParams workstation_cluster() {
+    return MachineParams{40e-9, 5e-9, 500e-6, 100e-9};
+  }
+};
+
+/// One message in flight: raw bytes plus a tag for sanity checking.
+struct Message {
+  int from = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Aggregate per-rank activity counters (monotone over a run).
+struct RankCounters {
+  std::uint64_t flops = 0;
+  std::uint64_t mem_bytes = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class Machine;
+
+/// Handle a rank's step function uses to do modeled work and communicate.
+/// Sends post to the *next* superstep; receives drain messages delivered
+/// into the current one.
+class RankContext {
+ public:
+  int rank() const { return rank_; }
+  int nranks() const;
+
+  /// Account n floating-point operations of local work.
+  void charge_flops(std::uint64_t n);
+  /// Account n bytes of local memory traffic (e.g. reduced-matrix copies).
+  void charge_mem(std::uint64_t n);
+
+  /// Post a message for delivery at the start of the next superstep.
+  void send_bytes(int to, int tag, std::vector<std::byte> payload);
+  void send_indices(int to, int tag, const IdxVec& data);
+  void send_reals(int to, int tag, const RealVec& data);
+
+  /// All messages delivered to this rank this superstep (moved out; call
+  /// at most once per superstep).
+  std::vector<Message> recv_all();
+
+ private:
+  friend class Machine;
+  RankContext(Machine& machine, int rank) : machine_(&machine), rank_(rank) {}
+  Machine* machine_;
+  int rank_;
+};
+
+/// Decode helpers for Message payloads.
+IdxVec decode_indices(const Message& m);
+RealVec decode_reals(const Message& m);
+
+class Machine {
+ public:
+  Machine(int nranks, MachineParams params = MachineParams::cray_t3d());
+
+  int nranks() const { return nranks_; }
+  const MachineParams& params() const { return params_; }
+
+  /// Execute one superstep: the body runs once per rank (deterministically,
+  /// rank 0 first), then all posted messages are delivered and a barrier
+  /// synchronizes the modeled clocks (max over ranks plus a log2(p)
+  /// latency-tree cost).
+  void step(const std::function<void(RankContext&)>& body);
+
+  /// Convenience collectives (each is one superstep of modeled time):
+  /// every rank contributes a value, all receive the combined result.
+  double allreduce_sum(const std::function<double(int)>& value_of_rank);
+  double allreduce_max(const std::function<double(int)>& value_of_rank);
+  long long allreduce_sum_ll(const std::function<long long(int)>& value_of_rank);
+
+  /// Account a point-to-point transfer without materializing a payload
+  /// (used for bulk data migration where the bytes stay in shared storage):
+  /// the sender pays latency plus per-byte cost, the receiver the per-byte
+  /// drain cost.
+  void charge_transfer(int from, int to, std::uint64_t bytes);
+
+  /// Charge a collective data exchange (allgather/alltoall-style): all
+  /// clocks advance to the max plus a log2(p) tree of (alpha + bytes*beta).
+  /// Counts as one superstep.
+  void collective(std::uint64_t payload_bytes);
+
+  /// Modeled elapsed time so far (seconds) — max over rank clocks.
+  double modeled_time() const;
+  /// Modeled time of one rank.
+  double rank_time(int rank) const { return clock_[rank]; }
+
+  /// Counters for one rank / aggregated.
+  const RankCounters& counters(int rank) const { return counters_[rank]; }
+  RankCounters total_counters() const;
+
+  /// Number of supersteps executed (each one is a synchronization point).
+  std::uint64_t supersteps() const { return supersteps_; }
+
+  /// Reset clocks/counters (keeps nranks and params) so one Machine can
+  /// time several phases independently.
+  void reset();
+
+ private:
+  friend class RankContext;
+  void charge_flops(int rank, std::uint64_t n);
+  void charge_mem(int rank, std::uint64_t n);
+  void post(int from, int to, int tag, std::vector<std::byte> payload);
+
+  int nranks_;
+  MachineParams params_;
+  std::vector<double> clock_;
+  std::vector<RankCounters> counters_;
+  std::vector<std::vector<Message>> inbox_;   // delivered this superstep
+  std::vector<std::vector<Message>> outbox_;  // posted during this superstep
+  std::uint64_t supersteps_ = 0;
+};
+
+}  // namespace ptilu::sim

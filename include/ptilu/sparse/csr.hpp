@@ -1,0 +1,94 @@
+// Compressed-sparse-row matrix container plus the structural operations the
+// factorization stack needs: transpose, symmetric permutation, pattern
+// symmetrization, row norms, diagonal extraction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ptilu/support/types.hpp"
+
+namespace ptilu {
+
+/// CSR sparse matrix. Column indices within each row are kept sorted
+/// ascending (all constructors/loaders enforce this; algorithms rely on it).
+struct Csr {
+  idx n_rows = 0;
+  idx n_cols = 0;
+  std::vector<nnz_t> row_ptr;  // size n_rows + 1
+  IdxVec col_idx;              // size nnz
+  RealVec values;              // size nnz
+
+  Csr() = default;
+  Csr(idx rows, idx cols) : n_rows(rows), n_cols(cols), row_ptr(rows + 1, 0) {}
+
+  nnz_t nnz() const { return static_cast<nnz_t>(col_idx.size()); }
+  idx row_nnz(idx i) const { return static_cast<idx>(row_ptr[i + 1] - row_ptr[i]); }
+
+  /// Value at (i, j), or 0 if the position is not stored. O(log row_nnz).
+  real at(idx i, idx j) const;
+
+  /// Validate structural invariants (sorted columns, in-range indices,
+  /// monotone row_ptr). Throws ptilu::Error on violation.
+  void validate() const;
+
+  /// True if every row's column list is strictly ascending.
+  bool has_sorted_rows() const;
+};
+
+/// Coordinate-format builder: accumulate (i, j, v) triplets in any order,
+/// then convert to CSR. Duplicate entries are summed.
+class CooBuilder {
+ public:
+  CooBuilder(idx rows, idx cols) : rows_(rows), cols_(cols) {}
+
+  void add(idx i, idx j, real v);
+  void reserve(std::size_t n);
+  std::size_t size() const { return entries_.size(); }
+
+  /// Sort, merge duplicates, and produce the CSR matrix.
+  Csr to_csr() const;
+
+ private:
+  struct Entry {
+    idx i, j;
+    real v;
+  };
+  idx rows_, cols_;
+  std::vector<Entry> entries_;
+};
+
+/// B = A^T (values transposed too). O(nnz).
+Csr transpose(const Csr& a);
+
+/// Symmetric permutation B = P A P^T where new_of[old] gives each row/column's
+/// new position. perm must be a bijection on [0, n).
+Csr permute_symmetric(const Csr& a, const IdxVec& new_of);
+
+/// Structure-only union with the transpose: returns a matrix with the pattern
+/// of A + A^T and values of A (zeros where only A^T has an entry). Used to
+/// hand a symmetric adjacency structure to graph algorithms.
+Csr symmetrize_pattern(const Csr& a);
+
+/// Extract the diagonal; missing diagonal entries are 0.
+RealVec diagonal(const Csr& a);
+
+/// Per-row norms of the matrix. p is 1, 2 or 0 for infinity-norm.
+RealVec row_norms(const Csr& a, int p);
+
+/// Exact structural and numerical equality.
+bool equal(const Csr& a, const Csr& b);
+
+/// Max |a_ij - b_ij| over the union pattern (requires same shape).
+real max_abs_diff(const Csr& a, const Csr& b);
+
+/// Render small matrices for test failure messages.
+std::string to_string_dense(const Csr& a, int precision = 3);
+
+/// Check that new_of is a permutation of [0, n).
+bool is_permutation(const IdxVec& new_of, idx n);
+
+/// Invert a permutation: returns old_of where old_of[new_of[i]] == i.
+IdxVec invert_permutation(const IdxVec& new_of);
+
+}  // namespace ptilu

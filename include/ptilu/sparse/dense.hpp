@@ -1,0 +1,41 @@
+// Small dense-matrix reference implementations used to cross-check the
+// sparse factorizations in tests. Not used on any performance path.
+#pragma once
+
+#include <vector>
+
+#include "ptilu/sparse/csr.hpp"
+#include "ptilu/support/types.hpp"
+
+namespace ptilu {
+
+/// Row-major dense matrix.
+class Dense {
+ public:
+  Dense(idx rows, idx cols) : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, 0.0) {}
+
+  static Dense from_csr(const Csr& a);
+
+  idx rows() const { return rows_; }
+  idx cols() const { return cols_; }
+  real& operator()(idx i, idx j) { return data_[static_cast<std::size_t>(i) * cols_ + j]; }
+  real operator()(idx i, idx j) const { return data_[static_cast<std::size_t>(i) * cols_ + j]; }
+
+ private:
+  idx rows_, cols_;
+  RealVec data_;
+};
+
+/// In-place dense LU factorization WITHOUT pivoting (matching what an
+/// incomplete factorization computes when no fill is dropped). On return,
+/// the strictly lower part holds L (unit diagonal implicit) and the upper
+/// part holds U. Throws ptilu::Error on a zero pivot.
+void dense_lu_nopivot(Dense& a);
+
+/// Solve L U x = b where lu is the output of dense_lu_nopivot.
+RealVec dense_lu_solve(const Dense& lu, const RealVec& b);
+
+/// Dense matvec: y = A x.
+RealVec dense_matvec(const Dense& a, const RealVec& x);
+
+}  // namespace ptilu

@@ -1,0 +1,31 @@
+// Diagonal equilibration: scale rows and/or columns so every row (column)
+// has unit norm. A standard conditioning aid before incomplete
+// factorization — ILUT's relative thresholds interact badly with wildly
+// different row magnitudes (see the jump-coefficient workload), and
+// equilibration restores comparability.
+#pragma once
+
+#include "ptilu/sparse/csr.hpp"
+#include "ptilu/support/types.hpp"
+
+namespace ptilu {
+
+struct Equilibration {
+  Csr scaled;      ///< D_r A D_c
+  RealVec row;     ///< diagonal of D_r
+  RealVec col;     ///< diagonal of D_c
+
+  /// Map a solution of the scaled system back: x = D_c x_scaled.
+  RealVec unscale_solution(const RealVec& x_scaled) const;
+  /// Map an original right-hand side in: b_scaled = D_r b.
+  RealVec scale_rhs(const RealVec& b) const;
+};
+
+/// One-sided row equilibration: every row of D_r A has unit inf-norm.
+Equilibration equilibrate_rows(const Csr& a);
+
+/// Two-sided equilibration (one pass of row then column scaling with
+/// square-root damping — the classic Ruiz iteration step, `sweeps` times).
+Equilibration equilibrate(const Csr& a, int sweeps = 3);
+
+}  // namespace ptilu

@@ -1,0 +1,20 @@
+// Sequential sparse matrix-vector product kernels.
+#pragma once
+
+#include <span>
+
+#include "ptilu/sparse/csr.hpp"
+
+namespace ptilu {
+
+/// y = A x
+void spmv(const Csr& a, std::span<const real> x, std::span<real> y);
+
+/// y = alpha * A x + beta * y
+void spmv(real alpha, const Csr& a, std::span<const real> x, real beta, std::span<real> y);
+
+/// r = b - A x
+void residual(const Csr& a, std::span<const real> x, std::span<const real> b,
+              std::span<real> r);
+
+}  // namespace ptilu

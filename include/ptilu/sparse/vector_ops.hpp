@@ -1,0 +1,28 @@
+// Dense vector kernels shared by the Krylov solver and tests.
+#pragma once
+
+#include <span>
+
+#include "ptilu/support/types.hpp"
+
+namespace ptilu {
+
+/// y += alpha * x
+void axpy(real alpha, std::span<const real> x, std::span<real> y);
+
+/// x *= alpha
+void scal(real alpha, std::span<real> x);
+
+/// <x, y>
+real dot(std::span<const real> x, std::span<const real> y);
+
+/// ||x||_2
+real norm2(std::span<const real> x);
+
+/// ||x||_inf
+real norm_inf(std::span<const real> x);
+
+/// max_i |x_i - y_i|
+real max_abs_diff(std::span<const real> x, std::span<const real> y);
+
+}  // namespace ptilu

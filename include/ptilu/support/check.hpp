@@ -1,0 +1,43 @@
+// Error handling: PTILU_CHECK for recoverable precondition violations
+// (always on, throws ptilu::Error), PTILU_ASSERT for internal invariants
+// (compiled out in release builds).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ptilu {
+
+/// Exception type thrown by all PTILU_CHECK failures and by library code
+/// that detects invalid input (bad matrix structure, singular pivot, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file, int line,
+                                      const std::string& msg);
+}  // namespace detail
+
+}  // namespace ptilu
+
+/// Always-on check; throws ptilu::Error with location info on failure.
+/// Usage: PTILU_CHECK(n > 0, "matrix dimension must be positive, got " << n);
+#define PTILU_CHECK(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream ptilu_oss_;                                        \
+      ptilu_oss_ << msg; /* NOLINT */                                       \
+      ::ptilu::detail::throw_check_failure(#expr, __FILE__, __LINE__,       \
+                                           ptilu_oss_.str());               \
+    }                                                                       \
+  } while (0)
+
+/// Debug-only internal invariant check.
+#ifdef NDEBUG
+#define PTILU_ASSERT(expr, msg) ((void)0)
+#else
+#define PTILU_ASSERT(expr, msg) PTILU_CHECK(expr, msg)
+#endif

@@ -1,0 +1,43 @@
+// Tiny command-line flag parser for benchmark harnesses and examples.
+//
+// Flags look like --name=value (or --name value). Unknown flags are an
+// error so typos don't silently fall back to defaults mid-experiment.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ptilu/support/types.hpp"
+
+namespace ptilu {
+
+class Cli {
+ public:
+  /// Parse argv. Throws ptilu::Error on malformed input.
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  long long get_int(const std::string& name, long long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated integer list, e.g. --procs=16,32,64,128.
+  std::vector<int> get_int_list(const std::string& name, std::vector<int> fallback) const;
+
+  /// Comma-separated double list, e.g. --tau=1e-2,1e-4,1e-6.
+  std::vector<double> get_double_list(const std::string& name,
+                                      std::vector<double> fallback) const;
+
+  /// Call after all gets: throws if any provided flag was never consumed
+  /// (catches typos in flag names).
+  void check_all_consumed() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace ptilu

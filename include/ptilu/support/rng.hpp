@@ -1,0 +1,81 @@
+// Deterministic random number generation.
+//
+// Two facilities:
+//  * Rng — a xoshiro256** stream for sequential use (workload generators,
+//    randomized tests).
+//  * mix64 / vertex_key — stateless SplitMix64-style hashing used by the
+//    distributed Luby MIS: every rank computes the *same* key for a given
+//    (seed, vertex, round) triple without communication, which keeps the
+//    simulated-parallel algorithm deterministic and reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "ptilu/support/types.hpp"
+
+namespace ptilu {
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless per-vertex random key for Luby's algorithm. Combining the
+/// round index means retries in later augmentation rounds see fresh keys.
+constexpr std::uint64_t vertex_key(std::uint64_t seed, idx vertex, int round) {
+  return mix64(mix64(seed ^ (0xA24BAED4963EE407ULL + static_cast<std::uint64_t>(vertex))) +
+               static_cast<std::uint64_t>(round) * 0x9FB21C651E98DF25ULL);
+}
+
+/// xoshiro256** PRNG (Blackman & Vigna). Deterministic given a seed,
+/// much faster than std::mt19937_64, and trivially copyable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    // Seed the four words via SplitMix64 as recommended by the authors.
+    for (auto& word : state_) {
+      seed = mix64(seed);
+      word = seed;
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [0, n). n must be positive.
+  std::uint64_t next_below(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation (bias negligible here).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+  }
+
+  idx next_index(idx n) { return static_cast<idx>(next_below(static_cast<std::uint64_t>(n))); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace ptilu

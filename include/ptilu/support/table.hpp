@@ -1,0 +1,51 @@
+// Column-aligned ASCII table printer used by the benchmark harnesses to
+// emit the paper's tables in a readable, diffable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ptilu {
+
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format cells from heterogeneous values.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(&table) {}
+    RowBuilder& cell(const std::string& s);
+    RowBuilder& cell(double v, int precision = 3);
+    RowBuilder& cell(long long v);
+    RowBuilder& cell(int v) { return cell(static_cast<long long>(v)); }
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    Table* table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder row() { return RowBuilder(*this); }
+
+  /// Render with aligned columns to the stream.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (benchmark-table style).
+std::string format_fixed(double v, int precision);
+
+/// Format like "1.23e-04".
+std::string format_sci(double v, int precision = 2);
+
+}  // namespace ptilu

@@ -1,0 +1,32 @@
+// Structured-grid PDE matrix generators.
+//
+// G0 in the paper is "a PDE discretized with centered differences on a
+// grid" with ~57k equations; convection_diffusion_2d(240, 240, ...) is our
+// stand-in (57,600 unknowns, 5-point stencil, nonsymmetric when convection
+// is present so threshold dropping has real work to do).
+#pragma once
+
+#include "ptilu/sparse/csr.hpp"
+#include "ptilu/support/types.hpp"
+
+namespace ptilu::workloads {
+
+/// 2-D convection–diffusion  -Δu + (cx, cy)·∇u = f  on the unit square,
+/// Dirichlet boundary, centered differences on an nx × ny interior grid.
+/// cx = cy = 0 gives the 5-point Laplacian. Row ordering is natural
+/// (lexicographic). The convection terms make the matrix nonsymmetric.
+Csr convection_diffusion_2d(idx nx, idx ny, real cx = 0.0, real cy = 0.0);
+
+/// 3-D Poisson equation, 7-point stencil on an nx × ny × nz interior grid.
+Csr poisson_3d(idx nx, idx ny, idx nz);
+
+/// 2-D anisotropic diffusion  -eps·u_xx - u_yy : small eps produces strong
+/// directional coupling, a classic hard case for ILU(0) that ILUT handles.
+Csr anisotropic_2d(idx nx, idx ny, real eps);
+
+/// 5-point 2-D Laplacian with per-cell random jumps in the diffusion
+/// coefficient spanning `contrast` orders of magnitude (harmonic averaging
+/// at faces). Exercises threshold dropping on wildly varying magnitudes.
+Csr jump_coefficient_2d(idx nx, idx ny, real contrast, std::uint64_t seed);
+
+}  // namespace ptilu::workloads

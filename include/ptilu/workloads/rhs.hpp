@@ -1,0 +1,31 @@
+// Right-hand-side builders and matrix statistics for the experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ptilu/sparse/csr.hpp"
+#include "ptilu/support/types.hpp"
+
+namespace ptilu::workloads {
+
+/// b = A·e where e is the all-ones vector (the paper's choice, §6), so the
+/// exact solution of Ax = b is known to be e.
+RealVec rhs_all_ones_solution(const Csr& a);
+
+/// Deterministic pseudo-random vector with entries in [-1, 1].
+RealVec random_vector(idx n, std::uint64_t seed);
+
+struct MatrixStats {
+  idx n = 0;
+  nnz_t nnz = 0;
+  real avg_row_nnz = 0;
+  idx max_row_nnz = 0;
+  real symmetry_gap = 0;  // max |a_ij - a_ji|
+  bool has_full_diagonal = false;
+};
+
+MatrixStats matrix_stats(const Csr& a);
+std::string describe(const MatrixStats& stats);
+
+}  // namespace ptilu::workloads

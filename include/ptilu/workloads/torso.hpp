@@ -1,0 +1,47 @@
+// Synthetic stand-in for the paper's TORSO matrix (Klepfer et al. '95):
+// a 3-D finite-element discretization of Laplace's equation modelling the
+// electrocardiographic fields of the human thorax. The original mesh is
+// proprietary; this generator keeps the properties the paper's experiments
+// exercise — 3-D FEM connectivity (trilinear hexahedral elements, up to
+// 27 nonzeros per row), strong conductivity jumps between tissues, and an
+// irregular (ellipsoidal) domain boundary.
+#pragma once
+
+#include <cstdint>
+
+#include "ptilu/sparse/csr.hpp"
+#include "ptilu/support/types.hpp"
+
+namespace ptilu::workloads {
+
+struct TorsoOptions {
+  idx nx = 40, ny = 40, nz = 56;  // voxel grid enclosing the thorax
+  std::uint64_t seed = 12345;     // small random perturbation of conductivities
+  /// Tissue conductivities (S/m, values from the ECG literature).
+  real sigma_muscle = 0.20;
+  real sigma_lung = 0.04;
+  real sigma_blood = 0.60;  // heart chambers
+  real sigma_bone = 0.006;  // spine
+  /// Relative grounding shift (× sigma_muscle) added to the diagonal to fix
+  /// the floating potential of the pure-Neumann problem. Smaller values
+  /// give a harder (more ill-conditioned) system, like the paper's TORSO.
+  real ground_rel = 1e-5;
+};
+
+struct TorsoMatrix {
+  Csr a;            // the assembled stiffness matrix (SPD after grounding)
+  idx n_nodes = 0;  // number of retained (inside-domain) nodes
+};
+
+/// Assemble the stiffness matrix for -div(sigma grad u) with trilinear
+/// hexahedral elements over the voxels inside an ellipsoidal "torso";
+/// nodes outside the domain are eliminated (Dirichlet). A small multiple
+/// of the identity grounds the potential so the matrix is nonsingular.
+TorsoMatrix fem_torso_3d(const TorsoOptions& opts = {});
+
+/// The 8x8 element stiffness matrix of a unit-cube trilinear element with
+/// unit conductivity (2-point Gauss quadrature). Exposed for testing: rows
+/// sum to zero and the matrix is symmetric positive semidefinite.
+void unit_hex_stiffness(real k[8][8]);
+
+}  // namespace ptilu::workloads

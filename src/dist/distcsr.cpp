@@ -1,0 +1,132 @@
+#include "ptilu/dist/distcsr.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "ptilu/support/check.hpp"
+
+namespace ptilu {
+
+idx DistCsr::interior_count(int rank) const {
+  idx count = 0;
+  for (const idx row : owned_rows[rank]) count += interface[row] ? 0 : 1;
+  return count;
+}
+
+idx DistCsr::interface_count_total() const {
+  idx count = 0;
+  for (idx v = 0; v < n(); ++v) count += interface[v] ? 1 : 0;
+  return count;
+}
+
+DistCsr DistCsr::create(Csr a, const Partition& p) {
+  PTILU_CHECK(a.n_rows == a.n_cols, "DistCsr needs a square matrix");
+  p.validate(a.n_rows);
+
+  DistCsr dist;
+  dist.nranks = p.nparts;
+  dist.owner = p.part;
+  dist.owned_rows.resize(p.nparts);
+  for (idx v = 0; v < a.n_rows; ++v) dist.owned_rows[p.part[v]].push_back(v);
+
+  // Interface classification uses the symmetrized pattern: a directed
+  // coupling in either direction makes both endpoints interface nodes.
+  const Csr sym = symmetrize_pattern(a);
+  dist.interface.assign(a.n_rows, false);
+  for (idx v = 0; v < a.n_rows; ++v) {
+    for (nnz_t k = sym.row_ptr[v]; k < sym.row_ptr[v + 1]; ++k) {
+      const idx u = sym.col_idx[k];
+      if (u != v && p.part[u] != p.part[v]) {
+        dist.interface[v] = true;
+        break;
+      }
+    }
+  }
+  dist.a = std::move(a);
+  return dist;
+}
+
+Halo Halo::build(const DistCsr& dist) {
+  Halo halo;
+  halo.send_lists.resize(dist.nranks);
+  halo.recv_lists.resize(dist.nranks);
+
+  // For each rank, the set of remote indices its owned rows reference.
+  for (int r = 0; r < dist.nranks; ++r) {
+    std::map<int, IdxVec> needs;  // peer -> indices (collected, then dedup)
+    for (const idx row : dist.owned_rows[r]) {
+      for (nnz_t k = dist.a.row_ptr[row]; k < dist.a.row_ptr[row + 1]; ++k) {
+        const idx col = dist.a.col_idx[k];
+        const int peer = dist.owner[col];
+        if (peer != r) needs[peer].push_back(col);
+      }
+    }
+    for (auto& [peer, indices] : needs) {
+      std::sort(indices.begin(), indices.end());
+      indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+      halo.recv_lists[r].emplace_back(peer, indices);
+      halo.send_lists[peer].emplace_back(r, std::move(indices));
+    }
+  }
+  for (auto& lists : halo.send_lists) {
+    std::sort(lists.begin(), lists.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  return halo;
+}
+
+std::size_t Halo::total_exchanged() const {
+  std::size_t total = 0;
+  for (const auto& lists : send_lists) {
+    for (const auto& [peer, indices] : lists) total += indices.size();
+  }
+  return total;
+}
+
+void dist_spmv(sim::Machine& machine, const DistCsr& dist, const Halo& halo,
+               const RealVec& x, RealVec& y) {
+  PTILU_CHECK(machine.nranks() == dist.nranks, "machine/partition rank mismatch");
+  PTILU_CHECK(x.size() == static_cast<std::size_t>(dist.n()) && y.size() == x.size(),
+              "dist_spmv size mismatch");
+
+  // Superstep 1: ship boundary values.
+  machine.step([&](sim::RankContext& ctx) {
+    const int r = ctx.rank();
+    for (const auto& [peer, indices] : halo.send_lists[r]) {
+      RealVec values(indices.size());
+      for (std::size_t i = 0; i < indices.size(); ++i) values[i] = x[indices[i]];
+      ctx.charge_mem(values.size() * sizeof(real));
+      ctx.send_reals(peer, /*tag=*/0, values);
+    }
+  });
+
+  // Superstep 2: receive ghosts, compute owned rows.
+  machine.step([&](sim::RankContext& ctx) {
+    const int r = ctx.rank();
+    std::unordered_map<idx, real> ghost;
+    for (const sim::Message& msg : ctx.recv_all()) {
+      const RealVec values = sim::decode_reals(msg);
+      // Find the matching recv list for this peer.
+      const auto it = std::find_if(halo.recv_lists[r].begin(), halo.recv_lists[r].end(),
+                                   [&](const auto& entry) { return entry.first == msg.from; });
+      PTILU_CHECK(it != halo.recv_lists[r].end(), "unexpected halo message");
+      PTILU_CHECK(it->second.size() == values.size(), "halo message length mismatch");
+      for (std::size_t i = 0; i < values.size(); ++i) ghost.emplace(it->second[i], values[i]);
+    }
+    std::uint64_t flops = 0;
+    for (const idx row : dist.owned_rows[r]) {
+      real acc = 0.0;
+      for (nnz_t k = dist.a.row_ptr[row]; k < dist.a.row_ptr[row + 1]; ++k) {
+        const idx col = dist.a.col_idx[k];
+        const real xv = dist.owner[col] == r ? x[col] : ghost.at(col);
+        acc += dist.a.values[k] * xv;
+      }
+      flops += 2 * static_cast<std::uint64_t>(dist.a.row_nnz(row));
+      y[row] = acc;
+    }
+    ctx.charge_flops(flops);
+  });
+}
+
+}  // namespace ptilu

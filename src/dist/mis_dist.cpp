@@ -1,0 +1,199 @@
+#include "ptilu/dist/mis_dist.hpp"
+
+#include <algorithm>
+
+#include "ptilu/support/check.hpp"
+#include "ptilu/support/rng.hpp"
+
+namespace ptilu {
+
+namespace {
+
+enum Status : std::uint8_t { kCandidate = 0, kIn = 1, kOut = 2 };
+
+constexpr int kTagIn = 1;
+constexpr int kTagOut = 2;
+
+}  // namespace
+
+idx DistGraph::total_vertices() const {
+  idx total = 0;
+  for (const auto& verts : verts_of) total += static_cast<idx>(verts.size());
+  return total;
+}
+
+idx DistGraph::total_edges_directed() const {
+  idx total = 0;
+  for (const auto& rank_adj : adj) {
+    for (const auto& neighbors : rank_adj) total += static_cast<idx>(neighbors.size());
+  }
+  return total;
+}
+
+void DistMisScratch::ensure(int nranks, idx n_global) {
+  if (static_cast<int>(status.size()) < nranks) status.resize(nranks);
+  for (auto& s : status) {
+    if (static_cast<idx>(s.size()) < n_global) s.assign(n_global, kCandidate);
+  }
+  if (static_cast<int>(touched.size()) < nranks) touched.resize(nranks);
+}
+
+IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOptions& opts,
+                DistMisScratch* scratch) {
+  const int nranks = machine.nranks();
+  PTILU_CHECK(graph.owner != nullptr, "DistGraph missing owner array");
+  PTILU_CHECK(static_cast<int>(graph.verts_of.size()) == nranks &&
+                  static_cast<int>(graph.adj.size()) == nranks,
+              "DistGraph rank count mismatch");
+
+  DistMisScratch local_scratch;
+  DistMisScratch& sc = scratch != nullptr ? *scratch : local_scratch;
+  sc.ensure(nranks, graph.n_global);
+
+  // Setup phase (the paper's "communication setup"): initialize owned and
+  // mirror statuses. Peer ranks are discovered lazily when a vertex's
+  // status changes — each vertex changes status at most once per call, so
+  // the total notification work stays O(edges) without per-vertex peer
+  // lists.
+  machine.step([&](sim::RankContext& ctx) {
+    const int r = ctx.rank();
+    auto& status = sc.status[r];
+    auto& touched = sc.touched[r];
+    const IdxVec& verts = graph.verts_of[r];
+    std::uint64_t scanned = 0;
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      status[verts[i]] = kCandidate;
+      touched.push_back(verts[i]);
+      for (const idx u : graph.adj[r][i]) {
+        ++scanned;
+        if ((*graph.owner)[u] != r) {
+          status[u] = kCandidate;  // mirror entry
+          touched.push_back(u);
+        }
+      }
+    }
+    ctx.charge_mem(scanned * sizeof(idx));
+  });
+
+  // Per-rank outgoing update batches, dense by peer (reused each step).
+  std::vector<std::vector<IdxVec>> in_batch(nranks, std::vector<IdxVec>(nranks));
+  std::vector<std::vector<IdxVec>> out_batch(nranks, std::vector<IdxVec>(nranks));
+  std::vector<std::uint8_t> peer_stamp(nranks, 0);
+  // Queue a status-change notice for every peer rank owning a neighbor of
+  // verts_of[r][i]; dedupes peers with a dense stamp.
+  std::vector<int> seen_peers;
+  const auto notify = [&](int r, std::size_t i, idx v,
+                          std::vector<IdxVec>& batch) {
+    auto& seen = seen_peers;
+    seen.clear();
+    for (const idx u : graph.adj[r][i]) {
+      const int peer = (*graph.owner)[u];
+      if (peer == r || peer_stamp[peer]) continue;
+      peer_stamp[peer] = 1;
+      seen.push_back(peer);
+      batch[peer].push_back(v);
+    }
+    for (const int peer : seen) peer_stamp[peer] = 0;
+  };
+  const auto flush_batches = [&](sim::RankContext& ctx, int r) {
+    for (int peer = 0; peer < nranks; ++peer) {
+      if (!in_batch[r][peer].empty()) {
+        ctx.send_indices(peer, kTagIn, in_batch[r][peer]);
+        in_batch[r][peer].clear();
+      }
+      if (!out_batch[r][peer].empty()) {
+        ctx.send_indices(peer, kTagOut, out_batch[r][peer]);
+        out_batch[r][peer].clear();
+      }
+    }
+  };
+
+  long long candidates_left = 1;
+  for (int round = 0; round < opts.rounds && candidates_left > 0; ++round) {
+    candidates_left = 0;
+    // One superstep per round: apply deferred mirror updates, dominate owned
+    // candidates that gained an In neighbor, then select strict local key
+    // minima among the remaining candidates. Selection uses only
+    // round-start information, so adjacent boundary vertices on different
+    // ranks can never both win — this provides the conflict-freedom the
+    // paper obtains with its two-step insert-then-retract modification.
+    machine.step([&](sim::RankContext& ctx) {
+      const int r = ctx.rank();
+      auto& status = sc.status[r];
+      for (const sim::Message& msg : ctx.recv_all()) {
+        const std::uint8_t value = msg.tag == kTagIn ? kIn : kOut;
+        for (const idx v : sim::decode_indices(msg)) status[v] = value;
+      }
+
+      const IdxVec& verts = graph.verts_of[r];
+      std::uint64_t comparisons = 0;
+      // Domination sweep: candidates adjacent to an In vertex leave.
+      for (std::size_t i = 0; i < verts.size(); ++i) {
+        const idx v = verts[i];
+        if (status[v] != kCandidate) continue;
+        for (const idx u : graph.adj[r][i]) {
+          ++comparisons;
+          if (status[u] == kIn) {
+            status[v] = kOut;
+            notify(r, i, v, out_batch[r]);
+            break;
+          }
+        }
+      }
+      // Selection sweep (round-start statuses; domination above only uses
+      // information already final at round start, i.e. In vertices).
+      IdxVec selected;
+      for (std::size_t i = 0; i < verts.size(); ++i) {
+        const idx v = verts[i];
+        if (status[v] != kCandidate) continue;
+        const std::uint64_t key_v = vertex_key(opts.seed, v, round);
+        bool is_min = true;
+        for (const idx u : graph.adj[r][i]) {
+          ++comparisons;
+          if (status[u] != kCandidate) continue;
+          const std::uint64_t key_u = vertex_key(opts.seed, u, round);
+          if (key_u < key_v || (key_u == key_v && u < v)) {
+            is_min = false;
+            break;
+          }
+        }
+        if (is_min) selected.push_back(static_cast<idx>(i));
+      }
+      ctx.charge_flops(comparisons);
+      // Commit: winners enter the set, their owned neighbors leave.
+      for (const idx i : selected) {
+        const idx v = verts[i];
+        status[v] = kIn;
+        notify(r, i, v, in_batch[r]);
+        for (const idx u : graph.adj[r][i]) {
+          if ((*graph.owner)[u] != r || status[u] != kCandidate) continue;
+          status[u] = kOut;
+          const auto pos = static_cast<std::size_t>(
+              std::lower_bound(verts.begin(), verts.end(), u) - verts.begin());
+          notify(r, pos, u, out_batch[r]);
+        }
+      }
+      for (const idx v : verts) candidates_left += status[v] == kCandidate;
+      flush_batches(ctx, r);
+    });
+  }
+
+  // Drain pending updates so the machine's queues are clean for the caller.
+  machine.step([&](sim::RankContext& ctx) { (void)ctx.recv_all(); });
+
+  IdxVec result;
+  for (int r = 0; r < nranks; ++r) {
+    for (const idx v : graph.verts_of[r]) {
+      if (sc.status[r][v] == kIn) result.push_back(v);
+    }
+  }
+  // Reset scratch for the next call.
+  for (int r = 0; r < nranks; ++r) {
+    for (const idx v : sc.touched[r]) sc.status[r][v] = kCandidate;
+    sc.touched[r].clear();
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace ptilu

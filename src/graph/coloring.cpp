@@ -1,0 +1,52 @@
+#include "ptilu/graph/coloring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ptilu/support/check.hpp"
+
+namespace ptilu {
+
+IdxVec Coloring::color_class(idx c) const {
+  IdxVec out;
+  for (std::size_t v = 0; v < color.size(); ++v) {
+    if (color[v] == c) out.push_back(static_cast<idx>(v));
+  }
+  return out;
+}
+
+Coloring greedy_coloring(const Graph& g, const IdxVec& order) {
+  IdxVec visit = order;
+  if (visit.empty()) {
+    visit.resize(g.n);
+    std::iota(visit.begin(), visit.end(), 0);
+  }
+  PTILU_CHECK(is_permutation(visit, g.n), "coloring order must be a permutation");
+
+  Coloring result;
+  result.color.assign(g.n, -1);
+  std::vector<idx> forbidden_by(g.n, -1);  // forbidden_by[c] == v: color c used near v
+  for (const idx v : visit) {
+    for (const idx u : g.neighbors(v)) {
+      if (result.color[u] >= 0) forbidden_by[result.color[u]] = v;
+    }
+    idx c = 0;
+    while (forbidden_by[c] == v) ++c;
+    result.color[v] = c;
+    result.num_colors = std::max(result.num_colors, c + 1);
+  }
+  return result;
+}
+
+bool is_valid_coloring(const Graph& g, const Coloring& coloring) {
+  if (coloring.color.size() != static_cast<std::size_t>(g.n)) return false;
+  for (idx v = 0; v < g.n; ++v) {
+    if (coloring.color[v] < 0 || coloring.color[v] >= coloring.num_colors) return false;
+    for (const idx u : g.neighbors(v)) {
+      if (coloring.color[u] == coloring.color[v]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ptilu

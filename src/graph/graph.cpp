@@ -1,0 +1,119 @@
+#include "ptilu/graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ptilu/support/check.hpp"
+
+namespace ptilu {
+
+long long Graph::total_vwgt() const {
+  return std::accumulate(vwgt.begin(), vwgt.end(), 0LL);
+}
+
+void Graph::validate() const {
+  PTILU_CHECK(xadj.size() == static_cast<std::size_t>(n) + 1, "xadj size mismatch");
+  PTILU_CHECK(xadj.front() == 0 && xadj.back() == num_edges_directed(), "xadj bounds");
+  PTILU_CHECK(vwgt.size() == static_cast<std::size_t>(n), "vwgt size mismatch");
+  PTILU_CHECK(ewgt.size() == adjncy.size(), "ewgt size mismatch");
+  // Symmetry: count directed edges both ways.
+  for (idx v = 0; v < n; ++v) {
+    for (nnz_t k = xadj[v]; k < xadj[v + 1]; ++k) {
+      const idx u = adjncy[k];
+      PTILU_CHECK(u >= 0 && u < n, "neighbor out of range");
+      PTILU_CHECK(u != v, "self-loop at vertex " << v);
+      // Find reverse edge.
+      bool found = false;
+      for (nnz_t r = xadj[u]; r < xadj[u + 1]; ++r) {
+        if (adjncy[r] == v) {
+          PTILU_CHECK(ewgt[r] == ewgt[k], "asymmetric edge weight {" << v << "," << u << "}");
+          found = true;
+          break;
+        }
+      }
+      PTILU_CHECK(found, "missing reverse edge {" << u << "," << v << "}");
+    }
+  }
+}
+
+Graph graph_from_pattern(const Csr& a) {
+  PTILU_CHECK(a.n_rows == a.n_cols, "graph_from_pattern needs a square matrix");
+  const Csr s = symmetrize_pattern(a);
+  Graph g;
+  g.n = s.n_rows;
+  g.xadj.assign(g.n + 1, 0);
+  // First pass: degrees without diagonal.
+  for (idx i = 0; i < s.n_rows; ++i) {
+    for (nnz_t k = s.row_ptr[i]; k < s.row_ptr[i + 1]; ++k) {
+      if (s.col_idx[k] != i) ++g.xadj[i + 1];
+    }
+  }
+  for (idx i = 0; i < g.n; ++i) g.xadj[i + 1] += g.xadj[i];
+  g.adjncy.resize(g.xadj.back());
+  std::vector<nnz_t> cursor(g.xadj.begin(), g.xadj.end() - 1);
+  for (idx i = 0; i < s.n_rows; ++i) {
+    for (nnz_t k = s.row_ptr[i]; k < s.row_ptr[i + 1]; ++k) {
+      if (s.col_idx[k] != i) g.adjncy[cursor[i]++] = s.col_idx[k];
+    }
+  }
+  g.vwgt.assign(g.n, 1);
+  g.ewgt.assign(g.adjncy.size(), 1);
+  return g;
+}
+
+Graph graph_from_edges(idx n, const std::vector<std::pair<idx, idx>>& edges) {
+  // Deduplicate through a COO-style sort of both directions.
+  std::vector<std::pair<idx, idx>> directed;
+  directed.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    PTILU_CHECK(u >= 0 && u < n && v >= 0 && v < n, "edge endpoint out of range");
+    if (u == v) continue;
+    directed.emplace_back(u, v);
+    directed.emplace_back(v, u);
+  }
+  std::sort(directed.begin(), directed.end());
+
+  Graph g;
+  g.n = n;
+  g.xadj.assign(n + 1, 0);
+  g.vwgt.assign(n, 1);
+  for (std::size_t k = 0; k < directed.size();) {
+    const auto edge = directed[k];
+    idx weight = 0;
+    while (k < directed.size() && directed[k] == edge) {
+      ++weight;
+      ++k;
+    }
+    g.adjncy.push_back(edge.second);
+    // Parallel input edges collapse into one edge of that multiplicity.
+    g.ewgt.push_back(weight);
+    ++g.xadj[edge.first + 1];
+  }
+  for (idx i = 0; i < n; ++i) g.xadj[i + 1] += g.xadj[i];
+  return g;
+}
+
+idx count_components(const Graph& g) {
+  std::vector<bool> visited(g.n, false);
+  IdxVec stack;
+  idx components = 0;
+  for (idx start = 0; start < g.n; ++start) {
+    if (visited[start]) continue;
+    ++components;
+    stack.push_back(start);
+    visited[start] = true;
+    while (!stack.empty()) {
+      const idx v = stack.back();
+      stack.pop_back();
+      for (const idx u : g.neighbors(v)) {
+        if (!visited[u]) {
+          visited[u] = true;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace ptilu

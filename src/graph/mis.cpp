@@ -1,0 +1,110 @@
+#include "ptilu/graph/mis.hpp"
+
+#include <algorithm>
+
+#include "ptilu/support/check.hpp"
+#include "ptilu/support/rng.hpp"
+
+namespace ptilu {
+
+namespace {
+
+enum class State : std::uint8_t { kCandidate, kIn, kOut, kInactive };
+
+}  // namespace
+
+IdxVec luby_mis(const Graph& g, const MisOptions& opts, const std::vector<bool>* active) {
+  std::vector<State> state(g.n, State::kCandidate);
+  idx candidates = g.n;
+  if (active != nullptr) {
+    PTILU_CHECK(active->size() == static_cast<std::size_t>(g.n), "active mask size mismatch");
+    for (idx v = 0; v < g.n; ++v) {
+      if (!(*active)[v]) {
+        state[v] = State::kInactive;
+        --candidates;
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> key(g.n);
+  IdxVec result;
+  for (int round = 0; round < opts.rounds && candidates > 0; ++round) {
+    for (idx v = 0; v < g.n; ++v) {
+      if (state[v] == State::kCandidate) key[v] = vertex_key(opts.seed, v, round);
+    }
+    // Select local minima among candidates. Ties broken by vertex id so the
+    // outcome is well defined even for equal keys (astronomically unlikely).
+    IdxVec selected;
+    for (idx v = 0; v < g.n; ++v) {
+      if (state[v] != State::kCandidate) continue;
+      bool is_min = true;
+      for (const idx u : g.neighbors(v)) {
+        if (state[u] != State::kCandidate) continue;
+        if (key[u] < key[v] || (key[u] == key[v] && u < v)) {
+          is_min = false;
+          break;
+        }
+      }
+      if (is_min) selected.push_back(v);
+    }
+    // Commit: selected vertices enter the set; their neighbors are dominated.
+    for (const idx v : selected) {
+      state[v] = State::kIn;
+      --candidates;
+      result.push_back(v);
+    }
+    for (const idx v : selected) {
+      for (const idx u : g.neighbors(v)) {
+        if (state[u] == State::kCandidate) {
+          state[u] = State::kOut;
+          --candidates;
+        }
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+IdxVec greedy_mis(const Graph& g, const std::vector<bool>* active) {
+  std::vector<bool> blocked(g.n, false);
+  IdxVec result;
+  for (idx v = 0; v < g.n; ++v) {
+    if (blocked[v]) continue;
+    if (active != nullptr && !(*active)[v]) continue;
+    result.push_back(v);
+    for (const idx u : g.neighbors(v)) blocked[u] = true;
+  }
+  return result;
+}
+
+bool is_independent(const Graph& g, const IdxVec& set) {
+  std::vector<bool> in(g.n, false);
+  for (const idx v : set) {
+    PTILU_CHECK(v >= 0 && v < g.n, "set vertex out of range");
+    in[v] = true;
+  }
+  for (const idx v : set) {
+    for (const idx u : g.neighbors(v)) {
+      if (in[u]) return false;
+    }
+  }
+  return true;
+}
+
+bool is_maximal_independent(const Graph& g, const IdxVec& set,
+                            const std::vector<bool>* active) {
+  if (!is_independent(g, set)) return false;
+  std::vector<bool> dominated(g.n, false);
+  for (const idx v : set) {
+    dominated[v] = true;
+    for (const idx u : g.neighbors(v)) dominated[u] = true;
+  }
+  for (idx v = 0; v < g.n; ++v) {
+    if (active != nullptr && !(*active)[v]) continue;
+    if (!dominated[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace ptilu

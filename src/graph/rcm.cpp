@@ -1,0 +1,103 @@
+#include "ptilu/graph/rcm.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "ptilu/support/check.hpp"
+
+namespace ptilu {
+
+namespace {
+
+/// BFS from start returning the last-discovered vertex among those of
+/// minimal degree in the final level — a pseudo-peripheral vertex.
+idx pseudo_peripheral(const Graph& g, idx start, std::vector<bool>& scratch) {
+  idx current = start;
+  idx previous_ecc = -1;
+  for (int iter = 0; iter < 8; ++iter) {  // converges in a few sweeps
+    std::fill(scratch.begin(), scratch.end(), false);
+    std::queue<idx> queue;
+    queue.push(current);
+    scratch[current] = true;
+    idx ecc = 0;
+    IdxVec level = {current}, next;
+    while (true) {
+      next.clear();
+      for (const idx v : level) {
+        for (const idx u : g.neighbors(v)) {
+          if (!scratch[u]) {
+            scratch[u] = true;
+            next.push_back(u);
+          }
+        }
+      }
+      if (next.empty()) break;
+      ++ecc;
+      level = next;
+    }
+    idx best = level.front();
+    for (const idx v : level) {
+      if (g.degree(v) < g.degree(best)) best = v;
+    }
+    if (ecc <= previous_ecc) return best;
+    previous_ecc = ecc;
+    current = best;
+  }
+  return current;
+}
+
+}  // namespace
+
+IdxVec rcm_ordering(const Graph& g) {
+  IdxVec order;  // Cuthill-McKee visit order (old ids)
+  order.reserve(g.n);
+  std::vector<bool> visited(g.n, false);
+  std::vector<bool> scratch(g.n, false);
+
+  IdxVec neighbors_sorted;
+  for (idx seed = 0; seed < g.n; ++seed) {
+    if (visited[seed]) continue;
+    const idx start = pseudo_peripheral(g, seed, scratch);
+    std::queue<idx> queue;
+    queue.push(start);
+    visited[start] = true;
+    while (!queue.empty()) {
+      const idx v = queue.front();
+      queue.pop();
+      order.push_back(v);
+      neighbors_sorted.assign(g.neighbors(v).begin(), g.neighbors(v).end());
+      std::sort(neighbors_sorted.begin(), neighbors_sorted.end(),
+                [&](idx x, idx y) {
+                  const idx dx = g.degree(x), dy = g.degree(y);
+                  return dx != dy ? dx < dy : x < y;
+                });
+      for (const idx u : neighbors_sorted) {
+        if (!visited[u]) {
+          visited[u] = true;
+          queue.push(u);
+        }
+      }
+    }
+  }
+  PTILU_CHECK(static_cast<idx>(order.size()) == g.n, "RCM missed vertices");
+
+  // Reverse (the R in RCM) and convert to new_of form.
+  IdxVec new_of(g.n);
+  for (idx pos = 0; pos < g.n; ++pos) {
+    new_of[order[pos]] = g.n - 1 - pos;
+  }
+  return new_of;
+}
+
+idx bandwidth(const Csr& a) {
+  PTILU_CHECK(a.n_rows == a.n_cols, "bandwidth needs a square matrix");
+  idx band = 0;
+  for (idx i = 0; i < a.n_rows; ++i) {
+    for (nnz_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      band = std::max(band, std::abs(i - a.col_idx[k]));
+    }
+  }
+  return band;
+}
+
+}  // namespace ptilu

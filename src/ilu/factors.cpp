@@ -1,0 +1,64 @@
+#include "ptilu/ilu/factors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ptilu/support/check.hpp"
+
+namespace ptilu {
+
+void IluFactors::validate() const {
+  PTILU_CHECK(l.n_rows == l.n_cols && u.n_rows == u.n_cols && l.n_rows == u.n_rows,
+              "factor shape mismatch");
+  l.validate();
+  u.validate();
+  for (idx i = 0; i < l.n_rows; ++i) {
+    for (nnz_t k = l.row_ptr[i]; k < l.row_ptr[i + 1]; ++k) {
+      PTILU_CHECK(l.col_idx[k] < i, "L has an entry on/above the diagonal at row " << i);
+    }
+    PTILU_CHECK(u.row_nnz(i) >= 1 && u.col_idx[u.row_ptr[i]] == i,
+                "U row " << i << " does not start with the diagonal");
+    PTILU_CHECK(u.values[u.row_ptr[i]] != 0.0, "zero diagonal in U at row " << i);
+  }
+}
+
+double IluFactors::fill_factor(nnz_t nnz_a) const {
+  PTILU_CHECK(nnz_a > 0, "empty matrix");
+  return static_cast<double>(l.nnz() + u.nnz()) / static_cast<double>(nnz_a);
+}
+
+void select_largest(SparseRow& row, idx keep_count, real tau, idx always_keep) {
+  PTILU_CHECK(keep_count >= 0, "negative keep count");
+  // Gather survivors of the threshold test (plus the protected column).
+  std::vector<std::pair<idx, real>> kept;
+  kept.reserve(row.size());
+  std::pair<idx, real> protected_entry{-1, 0.0};
+  bool have_protected = false;
+  for (std::size_t k = 0; k < row.size(); ++k) {
+    if (row.cols[k] == always_keep) {
+      protected_entry = {row.cols[k], row.vals[k]};
+      have_protected = true;
+      continue;
+    }
+    if (std::abs(row.vals[k]) >= tau) kept.emplace_back(row.cols[k], row.vals[k]);
+  }
+  // Deterministic strict total order: |value| descending, column ascending.
+  const auto by_magnitude = [](const std::pair<idx, real>& a, const std::pair<idx, real>& b) {
+    const real ma = std::abs(a.second), mb = std::abs(b.second);
+    if (ma != mb) return ma > mb;
+    return a.first < b.first;
+  };
+  if (static_cast<idx>(kept.size()) > keep_count) {
+    std::nth_element(kept.begin(), kept.begin() + keep_count, kept.end(), by_magnitude);
+    kept.resize(keep_count);
+  }
+  if (have_protected) kept.push_back(protected_entry);
+  std::sort(kept.begin(), kept.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  row.clear();
+  for (const auto& [c, v] : kept) row.push(c, v);
+}
+
+}  // namespace ptilu

@@ -1,0 +1,51 @@
+#include "ptilu/ilu/trisolve.hpp"
+
+#include "ptilu/support/check.hpp"
+
+namespace ptilu {
+
+void forward_solve(const Csr& l, std::span<const real> b, std::span<real> y) {
+  const idx n = l.n_rows;
+  PTILU_CHECK(b.size() == static_cast<std::size_t>(n) && y.size() == b.size(),
+              "forward_solve size mismatch");
+  for (idx i = 0; i < n; ++i) {
+    real acc = b[i];
+    for (nnz_t k = l.row_ptr[i]; k < l.row_ptr[i + 1]; ++k) {
+      acc -= l.values[k] * y[l.col_idx[k]];
+    }
+    y[i] = acc;
+  }
+}
+
+void backward_solve(const Csr& u, std::span<const real> y, std::span<real> x) {
+  const idx n = u.n_rows;
+  PTILU_CHECK(y.size() == static_cast<std::size_t>(n) && x.size() == y.size(),
+              "backward_solve size mismatch");
+  for (idx i = n - 1; i >= 0; --i) {
+    const nnz_t start = u.row_ptr[i];
+    PTILU_ASSERT(u.col_idx[start] == i, "U row must start with the diagonal");
+    real acc = y[i];
+    for (nnz_t k = start + 1; k < u.row_ptr[i + 1]; ++k) {
+      acc -= u.values[k] * x[u.col_idx[k]];
+    }
+    x[i] = acc / u.values[start];
+  }
+}
+
+void ilu_apply(const IluFactors& factors, std::span<const real> b, std::span<real> x) {
+  RealVec y(factors.n());
+  forward_solve(factors.l, b, y);
+  backward_solve(factors.u, y, x);
+}
+
+void ilu_apply_permuted(const IluFactors& factors, const IdxVec& new_of,
+                        std::span<const real> b, std::span<real> x) {
+  const idx n = factors.n();
+  PTILU_CHECK(new_of.size() == static_cast<std::size_t>(n), "permutation size mismatch");
+  RealVec pb(n), px(n);
+  for (idx i = 0; i < n; ++i) pb[new_of[i]] = b[i];
+  ilu_apply(factors, pb, px);
+  for (idx i = 0; i < n; ++i) x[i] = px[new_of[i]];
+}
+
+}  // namespace ptilu

@@ -1,0 +1,210 @@
+// Initial bisection (greedy region growing) and FM boundary refinement.
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "internal.hpp"
+#include "ptilu/support/check.hpp"
+
+namespace ptilu::part_detail {
+
+namespace {
+
+/// BFS from v; returns the last vertex reached (approximately peripheral).
+idx bfs_far_vertex(const Graph& g, idx start) {
+  std::vector<bool> visited(g.n, false);
+  std::queue<idx> queue;
+  queue.push(start);
+  visited[start] = true;
+  idx last = start;
+  while (!queue.empty()) {
+    const idx v = queue.front();
+    queue.pop();
+    last = v;
+    for (const idx u : g.neighbors(v)) {
+      if (!visited[u]) {
+        visited[u] = true;
+        queue.push(u);
+      }
+    }
+  }
+  return last;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> grow_bisection(const Graph& g, double target_fraction, Rng& rng) {
+  PTILU_CHECK(g.n > 0, "cannot bisect an empty graph");
+  const long long total = g.total_vwgt();
+  const long long target0 = static_cast<long long>(target_fraction * static_cast<double>(total));
+
+  // Pseudo-peripheral start: two BFS hops from a random vertex.
+  const idx seed_vertex = bfs_far_vertex(g, bfs_far_vertex(g, rng.next_index(g.n)));
+
+  std::vector<std::uint8_t> side(g.n, 1);
+  std::vector<bool> queued(g.n, false);
+  std::queue<idx> frontier;
+  long long weight0 = 0;
+
+  auto absorb = [&](idx v) {
+    side[v] = 0;
+    weight0 += g.vwgt[v];
+    for (const idx u : g.neighbors(v)) {
+      if (!queued[u] && side[u] == 1) {
+        queued[u] = true;
+        frontier.push(u);
+      }
+    }
+  };
+
+  queued[seed_vertex] = true;
+  absorb(seed_vertex);
+  idx scan = 0;  // fallback cursor for disconnected graphs
+  while (weight0 < target0) {
+    idx next = -1;
+    while (!frontier.empty()) {
+      const idx v = frontier.front();
+      frontier.pop();
+      if (side[v] == 1) {
+        next = v;
+        break;
+      }
+    }
+    if (next < 0) {
+      // Disconnected: restart growth from the next untouched vertex.
+      while (scan < g.n && side[scan] == 0) ++scan;
+      if (scan == g.n) break;
+      next = scan;
+    }
+    absorb(next);
+  }
+  return side;
+}
+
+long long bisection_cut(const Graph& g, const std::vector<std::uint8_t>& side) {
+  long long cut = 0;
+  for (idx v = 0; v < g.n; ++v) {
+    for (nnz_t k = g.xadj[v]; k < g.xadj[v + 1]; ++k) {
+      if (side[g.adjncy[k]] != side[v]) cut += g.ewgt[k];
+    }
+  }
+  return cut / 2;
+}
+
+void fm_refine(const Graph& g, std::vector<std::uint8_t>& side, long long target0,
+               double tol, int passes) {
+  const long long total = g.total_vwgt();
+  const long long target1 = total - target0;
+  // Allowed maxima; make sure at least one unit of slack exists so single
+  // vertices can move on tiny/coarse graphs.
+  long long max0 = std::max<long long>(static_cast<long long>(tol * static_cast<double>(target0)),
+                                       target0 + 1);
+  long long max1 = std::max<long long>(static_cast<long long>(tol * static_cast<double>(target1)),
+                                       target1 + 1);
+
+  std::vector<long long> gain(g.n);
+  auto compute_gain = [&](idx v) {
+    long long external = 0, internal = 0;
+    for (nnz_t k = g.xadj[v]; k < g.xadj[v + 1]; ++k) {
+      if (side[g.adjncy[k]] != side[v]) external += g.ewgt[k];
+      else internal += g.ewgt[k];
+    }
+    return external - internal;
+  };
+
+  long long weight0 = 0;
+  for (idx v = 0; v < g.n; ++v) {
+    if (side[v] == 0) weight0 += g.vwgt[v];
+  }
+
+  for (int pass = 0; pass < passes; ++pass) {
+    for (idx v = 0; v < g.n; ++v) gain[v] = compute_gain(v);
+
+    // Lazy max-heap of (gain, vertex); stale entries skipped on pop.
+    std::priority_queue<std::pair<long long, idx>> heap;
+    for (idx v = 0; v < g.n; ++v) {
+      for (const idx u : g.neighbors(v)) {
+        if (side[u] != side[v]) {  // boundary vertex
+          heap.emplace(gain[v], v);
+          break;
+        }
+      }
+    }
+
+    std::vector<bool> moved(g.n, false);
+    struct Move {
+      idx v;
+      long long cut_after;
+    };
+    std::vector<Move> history;
+    long long cut = bisection_cut(g, side);
+    long long best_cut = cut;
+    std::size_t best_prefix = 0;
+
+    while (!heap.empty()) {
+      const auto [top_gain, v] = heap.top();
+      heap.pop();
+      if (moved[v] || top_gain != gain[v]) continue;  // stale heap entry
+      // Balance check for moving v to the other side.
+      const long long w = g.vwgt[v];
+      const long long new_w0 = side[v] == 0 ? weight0 - w : weight0 + w;
+      if (new_w0 > max0 || (total - new_w0) > max1) continue;
+
+      moved[v] = true;
+      side[v] = static_cast<std::uint8_t>(1 - side[v]);
+      weight0 = new_w0;
+      cut -= gain[v];
+      history.push_back({v, cut});
+      if (cut < best_cut) {
+        best_cut = cut;
+        best_prefix = history.size();
+      }
+      for (nnz_t k = g.xadj[v]; k < g.xadj[v + 1]; ++k) {
+        const idx u = g.adjncy[k];
+        if (moved[u]) continue;
+        // v flipped sides: edges to u change internal/external status.
+        gain[u] += (side[u] == side[v]) ? -2LL * g.ewgt[k] : 2LL * g.ewgt[k];
+        heap.emplace(gain[u], u);
+      }
+      // Stop a pass after a long streak without improvement.
+      if (history.size() - best_prefix > 64) break;
+    }
+
+    // Roll back moves past the best prefix.
+    for (std::size_t i = history.size(); i > best_prefix; --i) {
+      const idx v = history[i - 1].v;
+      weight0 += side[v] == 0 ? g.vwgt[v] : -g.vwgt[v];
+      side[v] = static_cast<std::uint8_t>(1 - side[v]);
+    }
+    if (best_prefix == 0) break;  // pass made no progress
+  }
+}
+
+std::vector<std::uint8_t> multilevel_bisect(const Graph& g, double target_fraction,
+                                            const PartitionOptions& opts, Rng& rng) {
+  const long long target0 =
+      static_cast<long long>(target_fraction * static_cast<double>(g.total_vwgt()));
+  if (g.n <= opts.coarsen_to) {
+    auto side = grow_bisection(g, target_fraction, rng);
+    fm_refine(g, side, target0, opts.imbalance_tol, opts.refine_passes);
+    return side;
+  }
+
+  const IdxVec match = heavy_edge_matching(g, rng);
+  CoarseResult coarse = contract(g, match);
+  if (coarse.graph.n >= g.n * 95 / 100) {
+    // Coarsening stalled (e.g. star graphs): solve at this size directly.
+    auto side = grow_bisection(g, target_fraction, rng);
+    fm_refine(g, side, target0, opts.imbalance_tol, opts.refine_passes);
+    return side;
+  }
+
+  const auto coarse_side = multilevel_bisect(coarse.graph, target_fraction, opts, rng);
+
+  std::vector<std::uint8_t> side(g.n);
+  for (idx v = 0; v < g.n; ++v) side[v] = coarse_side[coarse.cmap[v]];
+  fm_refine(g, side, target0, opts.imbalance_tol, opts.refine_passes);
+  return side;
+}
+
+}  // namespace ptilu::part_detail

@@ -1,0 +1,41 @@
+// Internal pieces of the multilevel partitioner, exposed for unit testing.
+#pragma once
+
+#include "ptilu/graph/graph.hpp"
+#include "ptilu/part/partition.hpp"
+#include "ptilu/support/rng.hpp"
+
+namespace ptilu::part_detail {
+
+/// Heavy-edge matching: returns match[v] = partner (or v itself when
+/// unmatched). Visits vertices in a random order; each unmatched vertex
+/// grabs its heaviest-edge unmatched neighbor.
+IdxVec heavy_edge_matching(const Graph& g, Rng& rng);
+
+/// Contract a matching: cmap[v] = coarse vertex id; returns the coarse
+/// graph with summed vertex and edge weights (internal edges dropped).
+struct CoarseResult {
+  Graph graph;
+  IdxVec cmap;  // fine vertex -> coarse vertex
+};
+CoarseResult contract(const Graph& g, const IdxVec& match);
+
+/// Greedy region-growing bisection of a (small) graph: grows side 0 from a
+/// pseudo-peripheral seed until it holds ~target_fraction of total weight.
+/// Returns side[v] in {0, 1}.
+std::vector<std::uint8_t> grow_bisection(const Graph& g, double target_fraction, Rng& rng);
+
+/// Boundary FM refinement of a bisection. side is updated in place.
+/// target0 is the desired weight of side 0; max imbalance per side is
+/// tol × its target.
+void fm_refine(const Graph& g, std::vector<std::uint8_t>& side, long long target0,
+               double tol, int passes);
+
+/// Edge cut of a bisection.
+long long bisection_cut(const Graph& g, const std::vector<std::uint8_t>& side);
+
+/// Multilevel bisection driver: coarsen, grow, refine back up.
+std::vector<std::uint8_t> multilevel_bisect(const Graph& g, double target_fraction,
+                                            const PartitionOptions& opts, Rng& rng);
+
+}  // namespace ptilu::part_detail

@@ -1,0 +1,219 @@
+// k-way driver: recursive multilevel bisection on induced subgraphs,
+// plus the trivial baseline partitioners and quality metrics.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "internal.hpp"
+#include "ptilu/part/partition.hpp"
+#include "ptilu/support/check.hpp"
+
+namespace ptilu {
+
+using part_detail::multilevel_bisect;
+
+namespace {
+
+/// Induced subgraph over the given vertices (ascending). Returns the graph
+/// plus the vertex list mapping local ids back to g's ids.
+Graph induced_subgraph(const Graph& g, const IdxVec& vertices, IdxVec& local_of) {
+  Graph sub;
+  sub.n = static_cast<idx>(vertices.size());
+  sub.xadj.assign(sub.n + 1, 0);
+  sub.vwgt.resize(sub.n);
+  for (idx lv = 0; lv < sub.n; ++lv) {
+    local_of[vertices[lv]] = lv;
+    sub.vwgt[lv] = g.vwgt[vertices[lv]];
+  }
+  for (idx lv = 0; lv < sub.n; ++lv) {
+    const idx v = vertices[lv];
+    for (nnz_t k = g.xadj[v]; k < g.xadj[v + 1]; ++k) {
+      const idx lu = local_of[g.adjncy[k]];
+      if (lu >= 0) {
+        sub.adjncy.push_back(lu);
+        sub.ewgt.push_back(g.ewgt[k]);
+      }
+    }
+    sub.xadj[lv + 1] = static_cast<nnz_t>(sub.adjncy.size());
+  }
+  return sub;
+}
+
+void recursive_partition(const Graph& g, const IdxVec& vertices, idx first_part,
+                         idx nparts, const PartitionOptions& opts, Rng& rng,
+                         IdxVec& local_of, IdxVec& part) {
+  if (nparts == 1) {
+    for (const idx v : vertices) part[v] = first_part;
+    return;
+  }
+  const idx left_parts = nparts / 2;
+  const double fraction = static_cast<double>(left_parts) / static_cast<double>(nparts);
+
+  Graph sub = induced_subgraph(g, vertices, local_of);
+  const auto side = multilevel_bisect(sub, fraction, opts, rng);
+  // Reset scratch entries before recursing.
+  for (const idx v : vertices) local_of[v] = -1;
+
+  IdxVec left, right;
+  for (idx lv = 0; lv < sub.n; ++lv) {
+    (side[lv] == 0 ? left : right).push_back(vertices[lv]);
+  }
+  // Degenerate splits can occur on tiny graphs; patch by stealing a vertex.
+  if (left.empty() && !right.empty()) {
+    left.push_back(right.back());
+    right.pop_back();
+  }
+  if (right.empty() && !left.empty()) {
+    right.push_back(left.back());
+    left.pop_back();
+  }
+  recursive_partition(g, left, first_part, left_parts, opts, rng, local_of, part);
+  recursive_partition(g, right, first_part + left_parts, nparts - left_parts, opts, rng,
+                      local_of, part);
+}
+
+/// Greedy k-way boundary refinement: repeatedly move boundary vertices to
+/// the neighboring part that most reduces the cut, subject to a hard
+/// per-part weight ceiling; vertices in overweight parts may move at a
+/// cut loss to restore balance. A few passes repair the imbalance that
+/// recursive bisection accumulates and shave the cut further.
+void kway_refine(const Graph& g, Partition& p, double tol, int passes) {
+  const idx nparts = p.nparts;
+  std::vector<long long> weight(nparts, 0);
+  for (idx v = 0; v < g.n; ++v) weight[p.part[v]] += g.vwgt[v];
+  const double ideal = static_cast<double>(g.total_vwgt()) / static_cast<double>(nparts);
+  const long long max_weight =
+      std::max(static_cast<long long>(tol * ideal), static_cast<long long>(ideal) + 1);
+
+  std::vector<long long> conn(nparts, 0);
+  IdxVec touched;
+  for (int pass = 0; pass < passes; ++pass) {
+    bool moved_any = false;
+    for (idx v = 0; v < g.n; ++v) {
+      const idx from = p.part[v];
+      touched.clear();
+      for (nnz_t k = g.xadj[v]; k < g.xadj[v + 1]; ++k) {
+        const idx q = p.part[g.adjncy[k]];
+        if (conn[q] == 0) touched.push_back(q);
+        conn[q] += g.ewgt[k];
+      }
+      const bool overweight = weight[from] > max_weight;
+      idx best = -1;
+      long long best_gain = overweight ? std::numeric_limits<long long>::min() : 0;
+      for (const idx q : touched) {
+        if (q == from) continue;
+        if (weight[q] + g.vwgt[v] > max_weight) continue;
+        const long long gain = conn[q] - conn[from];
+        // Positive gain always wins; zero gain wins when it improves balance;
+        // overweight sources accept the least-bad negative gain.
+        const bool improves =
+            gain > best_gain ||
+            (gain == best_gain && best >= 0 && weight[q] < weight[best]) ||
+            (gain == 0 && best < 0 && !overweight && weight[from] > weight[q] + g.vwgt[v]);
+        if (improves && (gain > 0 || overweight ||
+                         (gain == 0 && weight[from] > weight[q] + g.vwgt[v]))) {
+          best = q;
+          best_gain = gain;
+        }
+      }
+      for (const idx q : touched) conn[q] = 0;
+      if (best >= 0) {
+        weight[from] -= g.vwgt[v];
+        weight[best] += g.vwgt[v];
+        p.part[v] = best;
+        moved_any = true;
+      }
+    }
+    if (!moved_any) break;
+  }
+}
+
+}  // namespace
+
+void Partition::validate(idx n) const {
+  PTILU_CHECK(part.size() == static_cast<std::size_t>(n), "partition size mismatch");
+  for (const idx p : part) {
+    PTILU_CHECK(p >= 0 && p < nparts, "part id " << p << " out of range");
+  }
+}
+
+Partition partition_kway(const Graph& g, idx nparts, const PartitionOptions& opts) {
+  PTILU_CHECK(nparts >= 1, "nparts must be positive");
+  PTILU_CHECK(g.n >= nparts, "cannot split " << g.n << " vertices into " << nparts << " parts");
+  Partition result;
+  result.nparts = nparts;
+  result.part.assign(g.n, -1);
+
+  Rng rng(opts.seed);
+  IdxVec all(g.n);
+  std::iota(all.begin(), all.end(), 0);
+  IdxVec local_of(g.n, -1);
+  // Per-bisection imbalance compounds down the recursion tree, so each
+  // split gets the depth-adjusted tolerance tol^(1/levels); the final
+  // k-way refinement then polishes at the full tolerance.
+  PartitionOptions split_opts = opts;
+  const double levels = std::max(1.0, std::ceil(std::log2(static_cast<double>(nparts))));
+  split_opts.imbalance_tol = std::pow(opts.imbalance_tol, 1.0 / levels);
+  recursive_partition(g, all, 0, nparts, split_opts, rng, local_of, result.part);
+  kway_refine(g, result, opts.imbalance_tol, 2 * opts.refine_passes);
+  result.validate(g.n);
+  return result;
+}
+
+Partition partition_block(const Graph& g, idx nparts) {
+  PTILU_CHECK(nparts >= 1 && g.n >= nparts, "bad nparts");
+  Partition result;
+  result.nparts = nparts;
+  result.part.resize(g.n);
+  for (idx v = 0; v < g.n; ++v) {
+    result.part[v] = static_cast<idx>((static_cast<long long>(v) * nparts) / g.n);
+  }
+  return result;
+}
+
+Partition partition_random(const Graph& g, idx nparts, std::uint64_t seed) {
+  PTILU_CHECK(nparts >= 1 && g.n >= nparts, "bad nparts");
+  Partition result;
+  result.nparts = nparts;
+  result.part.resize(g.n);
+  for (idx v = 0; v < g.n; ++v) result.part[v] = static_cast<idx>(v % nparts);
+  Rng rng(seed);
+  for (idx v = g.n - 1; v > 0; --v) {
+    std::swap(result.part[v], result.part[rng.next_index(v + 1)]);
+  }
+  return result;
+}
+
+long long edge_cut(const Graph& g, const Partition& p) {
+  long long cut = 0;
+  for (idx v = 0; v < g.n; ++v) {
+    for (nnz_t k = g.xadj[v]; k < g.xadj[v + 1]; ++k) {
+      if (p.part[g.adjncy[k]] != p.part[v]) cut += g.ewgt[k];
+    }
+  }
+  return cut / 2;
+}
+
+double imbalance(const Graph& g, const Partition& p) {
+  std::vector<long long> weight(p.nparts, 0);
+  for (idx v = 0; v < g.n; ++v) weight[p.part[v]] += g.vwgt[v];
+  const long long heaviest = *std::max_element(weight.begin(), weight.end());
+  const double ideal = static_cast<double>(g.total_vwgt()) / static_cast<double>(p.nparts);
+  return static_cast<double>(heaviest) / ideal;
+}
+
+idx count_interface(const Graph& g, const Partition& p) {
+  idx count = 0;
+  for (idx v = 0; v < g.n; ++v) {
+    for (const idx u : g.neighbors(v)) {
+      if (p.part[u] != p.part[v]) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace ptilu

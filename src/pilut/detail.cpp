@@ -1,0 +1,154 @@
+#include "detail.hpp"
+
+#include <algorithm>
+
+namespace ptilu::pilut_detail {
+
+void assemble_factors(const std::vector<SparseRow>& lrows,
+                      const std::vector<SparseRow>& urows, const IdxVec& newnum,
+                      IluFactors& out) {
+  const idx n = static_cast<idx>(newnum.size());
+  std::vector<SparseRow> lnew(n), unew(n);
+  std::vector<std::pair<idx, real>> entries;
+  for (idx orig = 0; orig < n; ++orig) {
+    const idx row = newnum[orig];
+    entries.clear();
+    for (std::size_t p = 0; p < lrows[orig].size(); ++p) {
+      entries.emplace_back(newnum[lrows[orig].cols[p]], lrows[orig].vals[p]);
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [c, v] : entries) {
+      PTILU_ASSERT(c < row, "L entry not below the diagonal after renumbering");
+      lnew[row].push(c, v);
+    }
+    entries.clear();
+    for (std::size_t p = 0; p < urows[orig].size(); ++p) {
+      entries.emplace_back(newnum[urows[orig].cols[p]], urows[orig].vals[p]);
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [c, v] : entries) unew[row].push(c, v);
+  }
+  out.l = rows_to_csr(n, lnew);
+  out.u = rows_to_csr(n, unew);
+}
+
+void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
+                        const PilutOptions& opts, const RealVec& norms,
+                        FactorState& state, WorkingRow& w, PilutSchedule& sched,
+                        PilutStats& stats) {
+  const Csr& a = dist.a;
+  const int nranks = dist.nranks;
+
+  sched.interior_range.resize(nranks);
+  idx next_num = 0;
+  for (int r = 0; r < nranks; ++r) {
+    const idx begin = next_num;
+    for (const idx v : dist.owned_rows[r]) {
+      if (!dist.interface[v]) sched.newnum[v] = next_num++;
+    }
+    sched.interior_range[r] = {begin, next_num};
+  }
+  sched.n_interior = next_num;
+  stats.interface_nodes = a.n_rows - next_num;
+
+  machine.step([&](sim::RankContext& ctx) {
+    const int r = ctx.rank();
+    std::uint64_t flops = 0;
+    for (const idx i : dist.owned_rows[r]) {
+      if (dist.interface[i]) continue;
+      const real tau_i = opts.tau * norms[i];
+      const auto eliminatable = [&](idx c) { return c < i && !dist.interface[c]; };
+      ColumnHeap heap;
+      for (nnz_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+        const idx c = a.col_idx[k];
+        w.insert(c, a.values[k]);
+        if (eliminatable(c)) heap.push(c);  // columns are local by definition
+      }
+      flops += eliminate_cascading(w, state, tau_i, heap, eliminatable);
+
+      SparseRow& lrow = state.lrows[i];
+      SparseRow& urow = state.urows[i];
+      real diag = 0.0;
+      for (const idx c : w.touched()) {
+        const real v = w.value(c);
+        if (c == i) {
+          diag = v;
+        } else if (c < i && !dist.interface[c]) {
+          if (v != 0.0) lrow.push(c, v);
+        } else {
+          // Interface columns and larger interior columns are all U-side:
+          // every interface column is numbered after every interior one.
+          urow.push(c, v);
+        }
+      }
+      select_largest(lrow, opts.m, tau_i);
+      select_largest(urow, opts.m, tau_i);
+      diag = guarded_pivot(i, diag,
+                           opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0, stats);
+      state.udiag[i] = diag;
+      urow.cols.insert(urow.cols.begin(), i);
+      urow.vals.insert(urow.vals.begin(), diag);
+      state.factored[i] = true;
+      w.clear();
+    }
+    ctx.charge_flops(flops);
+  });
+  stats.time_interior = machine.modeled_time();
+}
+
+void run_initial_reduction(sim::Machine& machine, const DistCsr& dist,
+                           const PilutOptions& opts, const RealVec& norms,
+                           idx tail_cap, FactorState& state, WorkingRow& w,
+                           PilutStats& stats) {
+  const Csr& a = dist.a;
+  machine.step([&](sim::RankContext& ctx) {
+    const int r = ctx.rank();
+    std::uint64_t flops = 0, copied = 0;
+    for (const idx i : dist.owned_rows[r]) {
+      if (!dist.interface[i]) continue;
+      const real tau_i = opts.tau * norms[i];
+      const auto eliminatable = [&](idx c) { return !dist.interface[c]; };
+      ColumnHeap heap;
+      for (nnz_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+        const idx c = a.col_idx[k];
+        w.insert(c, a.values[k]);
+        if (eliminatable(c)) heap.push(c);  // interior => local => factored
+      }
+      if (!w.present(i)) w.insert(i, 0.0);  // keep the diagonal structurally
+      flops += eliminate_cascading(w, state, tau_i, heap, eliminatable);
+
+      SparseRow& lrow = state.lrows[i];
+      SparseRow& tail = state.tails[i];
+      for (const idx c : w.touched()) {
+        const real v = w.value(c);
+        if (!dist.interface[c]) {
+          if (v != 0.0) lrow.push(c, v);  // factored (interior) columns -> L
+        } else {
+          tail.push(c, v);  // unfactored interface columns (incl. diagonal)
+        }
+      }
+      select_largest(lrow, opts.m, tau_i);  // 3rd dropping rule (L side)
+      if (tail_cap > 0) {
+        select_largest(tail, tail_cap, 0.0, /*always_keep=*/i);  // ILUT* cap
+      }
+      stats.max_reduced_row =
+          std::max(stats.max_reduced_row, static_cast<nnz_t>(tail.size()));
+      copied += tail.size() * (sizeof(idx) + sizeof(real));
+      w.clear();
+    }
+    ctx.charge_flops(flops);
+    ctx.charge_mem(copied);
+  });
+}
+
+void finish_stats(const sim::Machine& machine, PilutStats& stats) {
+  stats.time_interface = machine.modeled_time() - stats.time_interior;
+  stats.time_total = machine.modeled_time();
+  const auto totals = machine.total_counters();
+  stats.flops = totals.flops;
+  stats.bytes_sent = totals.bytes_sent;
+  stats.messages = totals.messages_sent;
+  stats.supersteps = machine.supersteps();
+}
+
+}  // namespace ptilu::pilut_detail

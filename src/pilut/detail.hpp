@@ -1,0 +1,111 @@
+// Helpers shared by the parallel factorizations (PILUT, PILUT-nested, PILU0).
+#pragma once
+
+#include <cmath>
+#include <queue>
+
+#include "ptilu/dist/distcsr.hpp"
+#include "ptilu/ilu/factors.hpp"
+#include "ptilu/ilu/working_row.hpp"
+#include "ptilu/pilut/pilut.hpp"
+#include "ptilu/support/check.hpp"
+
+namespace ptilu::pilut_detail {
+
+using ColumnHeap = std::priority_queue<idx, std::vector<idx>, std::greater<idx>>;
+
+/// Shared state of a parallel factorization, indexed by ORIGINAL row ids.
+struct FactorState {
+  std::vector<SparseRow> lrows;  // final L rows (factored columns, orig ids)
+  std::vector<SparseRow> urows;  // final U rows (diag first, orig ids)
+  RealVec udiag;
+  std::vector<SparseRow> tails;  // reduced-matrix rows of unfactored interface rows
+  std::vector<bool> factored;
+
+  explicit FactorState(idx n)
+      : lrows(n), urows(n), udiag(n, 0.0), tails(n), factored(n, false) {}
+};
+
+/// Cascading elimination of the working row against factored rows chosen by
+/// the `eliminatable` predicate; the heap orders columns by the comparator
+/// key (original id for interior phases, assigned new number for nested
+/// interface blocks — the caller pre-seeds the heap accordingly). Applies
+/// the 1st dropping rule. Returns the flop count.
+template <typename Eliminatable, typename Compare>
+std::uint64_t eliminate_cascading(WorkingRow& w, FactorState& state, real tau_i,
+                                  std::priority_queue<idx, std::vector<idx>, Compare>& heap,
+                                  Eliminatable&& eliminatable) {
+  std::uint64_t flops = 0;
+  while (!heap.empty()) {
+    const idx k = heap.top();
+    heap.pop();
+    const real multiplier = w.value(k) / state.udiag[k];
+    ++flops;
+    if (std::abs(multiplier) < tau_i) {  // 1st dropping rule
+      w.set(k, 0.0);
+      continue;
+    }
+    w.set(k, multiplier);
+    const SparseRow& urow = state.urows[k];
+    flops += 2 * static_cast<std::uint64_t>(urow.size());
+    for (std::size_t p = 1; p < urow.size(); ++p) {  // skip stored diagonal
+      const idx c = urow.cols[p];
+      const real update = -multiplier * urow.vals[p];
+      if (w.present(c)) {
+        w.accumulate(c, update);
+      } else {
+        w.insert(c, update);
+        if (eliminatable(c)) heap.push(c);
+      }
+    }
+  }
+  return flops;
+}
+
+/// Phase 1 of every parallel factorization: each rank ILUT-factors its
+/// interior rows (communication-free). Also assigns interior new numbers
+/// rank-major into sched (caller must have sized sched.newnum).
+void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
+                        const PilutOptions& opts, const RealVec& norms,
+                        FactorState& state, WorkingRow& w, PilutSchedule& sched,
+                        PilutStats& stats);
+
+/// Phase 1b: interface rows eliminate their local interior columns, forming
+/// the initial reduced rows (tails). tail_cap 0 keeps everything (ILUT).
+void run_initial_reduction(sim::Machine& machine, const DistCsr& dist,
+                           const PilutOptions& opts, const RealVec& norms,
+                           idx tail_cap, FactorState& state, WorkingRow& w,
+                           PilutStats& stats);
+
+/// Finalize stats fields from the machine counters.
+void finish_stats(const sim::Machine& machine, PilutStats& stats);
+
+inline Csr rows_to_csr(idx n, const std::vector<SparseRow>& rows) {
+  Csr m(n, n);
+  nnz_t total = 0;
+  for (const auto& row : rows) total += static_cast<nnz_t>(row.size());
+  m.col_idx.reserve(total);
+  m.values.reserve(total);
+  for (idx i = 0; i < n; ++i) {
+    m.col_idx.insert(m.col_idx.end(), rows[i].cols.begin(), rows[i].cols.end());
+    m.values.insert(m.values.end(), rows[i].vals.begin(), rows[i].vals.end());
+    m.row_ptr[i + 1] = static_cast<nnz_t>(m.col_idx.size());
+  }
+  return m;
+}
+
+inline real guarded_pivot(idx row, real diag, real floor_abs, PilutStats& stats) {
+  if (std::abs(diag) >= floor_abs && diag != 0.0) return diag;
+  PTILU_CHECK(floor_abs > 0.0,
+              "zero pivot at row " << row << " (enable pivot_rel to guard)");
+  ++stats.pivots_guarded;
+  return diag == 0.0 ? floor_abs : std::copysign(floor_abs, diag);
+}
+
+/// Renumber per-original-row factor rows into the new ordering and build
+/// the final CSR factors (L strictly lower sorted, U diag-first sorted).
+void assemble_factors(const std::vector<SparseRow>& lrows,
+                      const std::vector<SparseRow>& urows, const IdxVec& newnum,
+                      IluFactors& out);
+
+}  // namespace ptilu::pilut_detail

@@ -1,0 +1,364 @@
+#include "ptilu/pilut/pilut.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+#include "detail.hpp"
+#include "ptilu/dist/mis_dist.hpp"
+#include "ptilu/ilu/working_row.hpp"
+#include "ptilu/support/check.hpp"
+
+namespace ptilu {
+
+namespace {
+
+constexpr int kTagUReq = 10;
+constexpr int kTagUCols = 11;
+constexpr int kTagUVals = 12;
+
+using pilut_detail::FactorState;
+using pilut_detail::guarded_pivot;
+
+}  // namespace
+
+void PilutSchedule::validate() const {
+  const idx n = static_cast<idx>(newnum.size());
+  PTILU_CHECK(is_permutation(newnum, n), "schedule.newnum is not a permutation");
+  PTILU_CHECK(orig_of.size() == newnum.size(), "orig_of size mismatch");
+  for (idx i = 0; i < n; ++i) PTILU_CHECK(orig_of[newnum[i]] == i, "orig_of inconsistent");
+  PTILU_CHECK(!level_start.empty() && level_start.front() == n_interior &&
+                  level_start.back() == n,
+              "level_start must span [n_interior, n]");
+  for (std::size_t l = 1; l < level_start.size(); ++l) {
+    PTILU_CHECK(level_start[l - 1] <= level_start[l], "level_start not monotone");
+  }
+  PTILU_CHECK(static_cast<int>(interior_range.size()) == nranks, "interior_range size");
+}
+
+PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
+                         const PilutOptions& opts) {
+  PTILU_CHECK(machine.nranks() == dist.nranks, "machine/partition rank mismatch");
+  PTILU_CHECK(opts.m >= 0 && opts.tau >= 0.0, "invalid PILUT options");
+  machine.reset();
+
+  const Csr& a = dist.a;
+  const idx n = a.n_rows;
+  const int nranks = dist.nranks;
+  const RealVec norms = row_norms(a, 2);
+  const idx tail_cap = opts.cap_k > 0 ? opts.cap_k * opts.m : 0;  // 0 = uncapped
+
+  PilutResult result;
+  PilutStats& stats = result.stats;
+  PilutSchedule& sched = result.schedule;
+  sched.nranks = nranks;
+  sched.newnum.assign(n, -1);
+
+  FactorState state(n);
+  WorkingRow w(n);  // scratch, reused across ranks (cleared between rows)
+  pilut_detail::run_interior_phase(machine, dist, opts, norms, state, w, sched, stats);
+  pilut_detail::run_initial_reduction(machine, dist, opts, norms, tail_cap, state, w,
+                                      stats);
+  idx next_num = sched.n_interior;
+  // Dense per-level scratch arrays (active vertex sets are disjoint across
+  // ranks, so sharing them is safe and avoids hash-map churn in the hot
+  // per-level loops).
+  IdxVec pos_dense(n, -1);              // active vertex -> position in owner's list
+  std::vector<std::uint8_t> in_set(n, 0);  // membership stamp for the current I_l
+  DistMisScratch mis_scratch;              // dense status arrays reused per level
+
+  // ================= Phase 2: iterative interface factorization ===========
+  std::vector<IdxVec> active(nranks);  // per rank: unfactored interface rows
+  long long remaining = 0;
+  for (int r = 0; r < nranks; ++r) {
+    for (const idx v : dist.owned_rows[r]) {
+      if (dist.interface[v]) active[r].push_back(v);
+    }
+    remaining += static_cast<long long>(active[r].size());
+  }
+
+  sched.level_start.push_back(sched.n_interior);
+  while (remaining > 0) {
+    // --- Build the symmetrized distributed graph of the reduced matrix.
+    // Tail columns are exactly the unfactored interface vertices, so the
+    // directed adjacency of vertex v is its tail pattern; reverse edges to
+    // remote owners travel in one superstep (the "communication setup").
+    std::vector<std::vector<IdxVec>> adj(nranks);
+    machine.step([&](sim::RankContext& ctx) {
+      const int r = ctx.rank();
+      adj[r].resize(active[r].size());
+      for (std::size_t i = 0; i < active[r].size(); ++i) {
+        pos_dense[active[r][i]] = static_cast<idx>(i);
+      }
+      std::vector<IdxVec> reverse_out(nranks);  // peer -> flat (target, source) pairs
+      std::uint64_t touched = 0;
+      for (std::size_t i = 0; i < active[r].size(); ++i) {
+        const idx v = active[r][i];
+        for (const idx c : state.tails[v].cols) {
+          if (c == v) continue;
+          ++touched;
+          adj[r][i].push_back(c);  // out-edge v -> c
+          const int peer = dist.owner[c];
+          if (peer == r) {
+            adj[r][pos_dense[c]].push_back(v);  // local reverse edge
+          } else {
+            reverse_out[peer].push_back(c);
+            reverse_out[peer].push_back(v);
+          }
+        }
+      }
+      ctx.charge_mem(touched * sizeof(idx));
+      for (int peer = 0; peer < nranks; ++peer) {
+        if (!reverse_out[peer].empty()) ctx.send_indices(peer, 0, reverse_out[peer]);
+      }
+    });
+    long long edges = 0;
+    machine.step([&](sim::RankContext& ctx) {
+      const int r = ctx.rank();
+      for (const sim::Message& msg : ctx.recv_all()) {
+        const IdxVec pairs = sim::decode_indices(msg);
+        for (std::size_t p = 0; p < pairs.size(); p += 2) {
+          adj[r][pos_dense[pairs[p]]].push_back(pairs[p + 1]);
+        }
+      }
+      // Duplicate adjacency entries (an edge present in both tails) are
+      // harmless for the MIS — skipping dedup keeps this phase O(edges).
+      long long local_edges = 0;
+      for (const auto& neighbors : adj[r]) {
+        local_edges += static_cast<long long>(neighbors.size());
+      }
+      edges += local_edges;  // accumulated across ranks: acts as allreduce input
+    });
+
+    // --- Choose the independent set I_l.
+    IdxVec iset;
+    if (edges == 0) {
+      // All remaining rows are mutually independent — the termination case.
+      for (int r = 0; r < nranks; ++r) {
+        iset.insert(iset.end(), active[r].begin(), active[r].end());
+      }
+      std::sort(iset.begin(), iset.end());
+    } else {
+      DistGraph graph;
+      graph.n_global = n;
+      graph.owner = &dist.owner;
+      graph.verts_of = active;
+      graph.adj = std::move(adj);
+      iset = mis_dist(machine, graph,
+                      {.seed = opts.seed + static_cast<std::uint64_t>(stats.levels),
+                       .rounds = opts.mis_rounds},
+                      &mis_scratch);
+      PTILU_CHECK(!iset.empty(), "independent set came back empty");
+    }
+
+    // --- Number the set rank-major. The id exchange (per-rank counts plus
+    // the member lists for boundary vertices) is a small collective.
+    for (const idx v : iset) in_set[v] = 1;
+    for (int r = 0; r < nranks; ++r) {
+      for (const idx v : active[r]) {
+        if (in_set[v]) sched.newnum[v] = next_num++;
+      }
+    }
+    machine.collective(static_cast<std::uint64_t>(iset.size()) * sizeof(idx) / nranks +
+                       sizeof(idx));
+
+    // --- Factor the rows of I_l (only U rows are created; the paper's
+    // observation that independence makes this communication-free).
+    machine.step([&](sim::RankContext& ctx) {
+      const int r = ctx.rank();
+      std::uint64_t flops = 0;
+      for (const idx v : active[r]) {
+        if (!in_set[v]) continue;
+        const real tau_v = opts.tau * norms[v];
+        SparseRow& tail = state.tails[v];
+        SparseRow& urow = state.urows[v];
+        real diag = 0.0;
+        for (std::size_t p = 0; p < tail.size(); ++p) {
+          if (tail.cols[p] == v) {
+            diag = tail.vals[p];
+          } else {
+            urow.push(tail.cols[p], tail.vals[p]);
+          }
+        }
+        flops += tail.size();
+        select_largest(urow, opts.m, tau_v);  // 2nd dropping rule (U side)
+        diag = guarded_pivot(v, diag,
+                             opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[v] : 0.0, stats);
+        state.udiag[v] = diag;
+        urow.cols.insert(urow.cols.begin(), v);
+        urow.vals.insert(urow.vals.begin(), diag);
+        state.factored[v] = true;
+        tail.clear();
+      }
+      ctx.charge_flops(flops);
+    });
+
+    // --- Exchange the U rows that remote eliminations will need. Each rank
+    // scans its remaining rows' tails for set members owned elsewhere,
+    // requests those rows, and owners reply within the same superstep pair.
+    std::vector<std::unordered_map<idx, SparseRow>> remote_urows(nranks);
+    machine.step([&](sim::RankContext& ctx) {
+      const int r = ctx.rank();
+      std::vector<IdxVec> requests(nranks);
+      for (const idx i : active[r]) {
+        if (in_set[i]) continue;
+        for (const idx c : state.tails[i].cols) {
+          if (in_set[c] && dist.owner[c] != r) requests[dist.owner[c]].push_back(c);
+        }
+      }
+      for (int peer = 0; peer < nranks; ++peer) {
+        IdxVec& rows = requests[peer];
+        if (rows.empty()) continue;
+        std::sort(rows.begin(), rows.end());
+        rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+        ctx.send_indices(peer, kTagUReq, rows);
+      }
+    });
+    machine.step([&](sim::RankContext& ctx) {
+      for (const sim::Message& msg : ctx.recv_all()) {
+        PTILU_CHECK(msg.tag == kTagUReq, "unexpected message during U exchange");
+        IdxVec cols_payload;
+        RealVec vals_payload;
+        for (const idx row : sim::decode_indices(msg)) {
+          const SparseRow& urow = state.urows[row];
+          cols_payload.push_back(row);
+          cols_payload.push_back(static_cast<idx>(urow.size()));
+          cols_payload.insert(cols_payload.end(), urow.cols.begin(), urow.cols.end());
+          vals_payload.insert(vals_payload.end(), urow.vals.begin(), urow.vals.end());
+        }
+        ctx.send_indices(msg.from, kTagUCols, cols_payload);
+        ctx.send_reals(msg.from, kTagUVals, vals_payload);
+      }
+    });
+
+    // --- Receive U rows and eliminate I_l columns from the remaining rows
+    // (Algorithm 4.2), forming the next reduced matrix.
+    machine.step([&](sim::RankContext& ctx) {
+      const int r = ctx.rank();
+      // Reassemble received rows.
+      IdxVec cols_payload;
+      RealVec vals_payload;
+      for (const sim::Message& msg : ctx.recv_all()) {
+        if (msg.tag == kTagUCols) {
+          const IdxVec part = sim::decode_indices(msg);
+          cols_payload.insert(cols_payload.end(), part.begin(), part.end());
+        } else {
+          PTILU_CHECK(msg.tag == kTagUVals, "unexpected tag in U exchange");
+          const RealVec part = sim::decode_reals(msg);
+          vals_payload.insert(vals_payload.end(), part.begin(), part.end());
+        }
+      }
+      std::size_t vpos = 0;
+      for (std::size_t p = 0; p < cols_payload.size();) {
+        const idx row = cols_payload[p++];
+        const idx len = cols_payload[p++];
+        SparseRow& urow = remote_urows[r][row];
+        urow.cols.assign(cols_payload.begin() + p, cols_payload.begin() + p + len);
+        urow.vals.assign(vals_payload.begin() + vpos, vals_payload.begin() + vpos + len);
+        p += len;
+        vpos += len;
+      }
+
+      const auto urow_of = [&](idx k) -> const SparseRow& {
+        if (dist.owner[k] == r) return state.urows[k];
+        const auto it = remote_urows[r].find(k);
+        PTILU_CHECK(it != remote_urows[r].end(), "missing remote U row " << k);
+        return it->second;
+      };
+
+      std::uint64_t flops = 0, copied = 0;
+      IdxVec elim_cols;
+      for (const idx i : active[r]) {
+        if (in_set[i]) continue;
+        SparseRow& tail = state.tails[i];
+        // Pre-scan: rows with no I_l columns are untouched by this level.
+        elim_cols.clear();
+        for (const idx c : tail.cols) {
+          if (in_set[c]) elim_cols.push_back(c);
+        }
+        if (elim_cols.empty()) continue;
+        const real tau_i = opts.tau * norms[i];
+        for (std::size_t p = 0; p < tail.size(); ++p) {
+          w.insert(tail.cols[p], tail.vals[p]);
+        }
+        // Ascending new number keeps the arithmetic order identical to the
+        // serial elimination on the permuted matrix.
+        std::sort(elim_cols.begin(), elim_cols.end(),
+                  [&](idx x, idx y) { return sched.newnum[x] < sched.newnum[y]; });
+        SparseRow& lrow = state.lrows[i];
+        for (const idx k : elim_cols) {
+          const SparseRow& urow = urow_of(k);
+          const real multiplier = w.value(k) / urow.vals[0];  // diag stored first
+          ++flops;
+          if (std::abs(multiplier) < tau_i) {  // 1st dropping rule
+            w.set(k, 0.0);
+            continue;
+          }
+          w.set(k, multiplier);
+          flops += 2 * static_cast<std::uint64_t>(urow.size());
+          for (std::size_t p = 1; p < urow.size(); ++p) {
+            const idx c = urow.cols[p];
+            const real update = -multiplier * urow.vals[p];
+            if (w.present(c)) {
+              w.accumulate(c, update);
+            } else {
+              w.insert(c, update);  // fill lands on unfactored columns only
+            }
+          }
+        }
+        // Merge surviving multipliers into L and re-apply the 3rd rule.
+        for (const idx k : elim_cols) {
+          const real v = w.value(k);
+          if (v != 0.0) lrow.push(k, v);
+        }
+        select_largest(lrow, opts.m, tau_i);
+        // Rebuild the tail from the unfactored columns.
+        tail.clear();
+        for (const idx c : w.touched()) {
+          if (in_set[c]) continue;
+          tail.push(c, w.value(c));
+        }
+        if (tail_cap > 0) select_largest(tail, tail_cap, 0.0, i);
+        stats.max_reduced_row =
+            std::max(stats.max_reduced_row, static_cast<nnz_t>(tail.size()));
+        copied += tail.size() * (sizeof(idx) + sizeof(real));
+        w.clear();
+      }
+      ctx.charge_flops(flops);
+      ctx.charge_mem(copied);
+    });
+
+    // --- Retire the factored rows and reset the dense scratch stamps.
+    for (int r = 0; r < nranks; ++r) {
+      IdxVec still;
+      for (const idx v : active[r]) {
+        pos_dense[v] = -1;
+        if (!in_set[v]) still.push_back(v);
+      }
+      remaining -= static_cast<long long>(active[r].size() - still.size());
+      active[r] = std::move(still);
+    }
+    for (const idx v : iset) in_set[v] = 0;
+    sched.level_start.push_back(next_num);
+    ++stats.levels;
+  }
+  if (sched.level_start.back() != n) sched.level_start.push_back(n);
+  PTILU_CHECK(next_num == n, "numbering did not cover all rows");
+
+  pilut_detail::finish_stats(machine, stats);
+
+  // ===================== Assembly into the new ordering ====================
+  sched.orig_of = invert_permutation(sched.newnum);
+  sched.owner_new.resize(n);
+  for (idx i = 0; i < n; ++i) sched.owner_new[sched.newnum[i]] = dist.owner[i];
+
+  pilut_detail::assemble_factors(state.lrows, state.urows, sched.newnum,
+                                 result.factors);
+  result.factors.validate();
+  sched.validate();
+  return result;
+}
+
+}  // namespace ptilu

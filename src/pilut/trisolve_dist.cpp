@@ -1,0 +1,220 @@
+#include "ptilu/pilut/trisolve_dist.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "ptilu/support/check.hpp"
+
+namespace ptilu {
+
+namespace {
+
+constexpr int kTagIdx = 20;
+constexpr int kTagVal = 21;
+
+void add_consumer(std::vector<std::vector<int>>& consumers, idx col, int rank) {
+  auto& list = consumers[col];
+  if (std::find(list.begin(), list.end(), rank) == list.end()) list.push_back(rank);
+}
+
+/// Ship the freshly computed values of `computed` (new ids owned by rank r)
+/// to their consumer ranks, batched per peer.
+void ship_values(sim::RankContext& ctx, const IdxVec& computed, const RealVec& x,
+                 const std::vector<std::vector<int>>& consumers) {
+  std::map<int, std::pair<IdxVec, RealVec>> batches;
+  for (const idx i : computed) {
+    for (const int peer : consumers[i]) {
+      batches[peer].first.push_back(i);
+      batches[peer].second.push_back(x[i]);
+    }
+  }
+  for (auto& [peer, batch] : batches) {
+    ctx.send_indices(peer, kTagIdx, batch.first);
+    ctx.send_reals(peer, kTagVal, batch.second);
+  }
+}
+
+/// Drain the level's inbound messages into the rank's ghost-value map.
+void drain_ghosts(sim::RankContext& ctx, std::unordered_map<idx, real>& ghost) {
+  IdxVec pending_idx;
+  RealVec pending_val;
+  for (const sim::Message& msg : ctx.recv_all()) {
+    if (msg.tag == kTagIdx) {
+      const IdxVec part = sim::decode_indices(msg);
+      pending_idx.insert(pending_idx.end(), part.begin(), part.end());
+    } else {
+      PTILU_CHECK(msg.tag == kTagVal, "unexpected message in triangular solve");
+      const RealVec part = sim::decode_reals(msg);
+      pending_val.insert(pending_val.end(), part.begin(), part.end());
+    }
+  }
+  PTILU_CHECK(pending_idx.size() == pending_val.size(), "ghost batch mismatch");
+  for (std::size_t k = 0; k < pending_idx.size(); ++k) {
+    ghost[pending_idx[k]] = pending_val[k];
+  }
+}
+
+}  // namespace
+
+DistTriangularSolver::DistTriangularSolver(const IluFactors& factors,
+                                           const PilutSchedule& schedule)
+    : factors_(&factors), schedule_(&schedule) {
+  const idx n = factors.n();
+  PTILU_CHECK(static_cast<std::size_t>(n) == schedule.newnum.size(),
+              "factors/schedule size mismatch");
+  consumers_fwd_.resize(n);
+  consumers_bwd_.resize(n);
+
+  // Forward: a row may reference any earlier column on another rank (with
+  // the plain PILUT schedule only interface columns cross ranks, but the
+  // nested variant migrates interface rows, so interior columns can have
+  // remote consumers too).
+  const Csr& l = factors.l;
+  for (idx i = 0; i < n; ++i) {
+    const int owner_i = schedule.owner_new[i];
+    for (nnz_t k = l.row_ptr[i]; k < l.row_ptr[i + 1]; ++k) {
+      const idx j = l.col_idx[k];
+      if (schedule.owner_new[j] != owner_i) add_consumer(consumers_fwd_, j, owner_i);
+    }
+  }
+  // Backward: symmetric situation for later columns.
+  const Csr& u = factors.u;
+  for (idx i = 0; i < n; ++i) {
+    const int owner_i = schedule.owner_new[i];
+    for (nnz_t k = u.row_ptr[i] + 1; k < u.row_ptr[i + 1]; ++k) {
+      const idx j = u.col_idx[k];
+      if (schedule.owner_new[j] != owner_i) add_consumer(consumers_bwd_, j, owner_i);
+    }
+  }
+
+  const int q = schedule.levels();
+  rows_of_level_.assign(q, std::vector<IdxVec>(schedule.nranks));
+  for (int level = 0; level < q; ++level) {
+    for (idx i = schedule.level_start[level]; i < schedule.level_start[level + 1]; ++i) {
+      rows_of_level_[level][schedule.owner_new[i]].push_back(i);
+    }
+  }
+}
+
+void DistTriangularSolver::forward(sim::Machine& machine, const RealVec& b,
+                                   RealVec& y) const {
+  const PilutSchedule& sched = *schedule_;
+  const Csr& l = factors_->l;
+  PTILU_CHECK(b.size() == static_cast<std::size_t>(l.n_rows) && y.size() == b.size(),
+              "forward size mismatch");
+  std::vector<std::unordered_map<idx, real>> ghost(sched.nranks);
+
+  // Phase 1: interior blocks — local work (interior rows only reference
+  // their own rank's interior columns), then ship any interior values that
+  // migrated interface rows on other ranks will need.
+  machine.step([&](sim::RankContext& ctx) {
+    const int r = ctx.rank();
+    const auto [begin, end] = sched.interior_range[r];
+    std::uint64_t flops = 0;
+    IdxVec computed;
+    for (idx i = begin; i < end; ++i) {
+      real acc = b[i];
+      for (nnz_t k = l.row_ptr[i]; k < l.row_ptr[i + 1]; ++k) {
+        acc -= l.values[k] * y[l.col_idx[k]];
+      }
+      flops += 2 * static_cast<std::uint64_t>(l.row_nnz(i));
+      y[i] = acc;
+      if (!consumers_fwd_[i].empty()) computed.push_back(i);
+    }
+    ctx.charge_flops(flops);
+    ship_values(ctx, computed, y, consumers_fwd_);
+  });
+
+  // Phase 2: one superstep per independent-set level.
+  for (int level = 0; level < levels(); ++level) {
+    machine.step([&](sim::RankContext& ctx) {
+      const int r = ctx.rank();
+      drain_ghosts(ctx, ghost[r]);
+      std::uint64_t flops = 0;
+      const IdxVec& rows = rows_of_level_[level][r];
+      for (const idx i : rows) {
+        real acc = b[i];
+        for (nnz_t k = l.row_ptr[i]; k < l.row_ptr[i + 1]; ++k) {
+          const idx j = l.col_idx[k];
+          const real value = sched.owner_new[j] == r ? y[j] : ghost[r].at(j);
+          acc -= l.values[k] * value;
+        }
+        flops += 2 * static_cast<std::uint64_t>(l.row_nnz(i));
+        y[i] = acc;
+      }
+      ctx.charge_flops(flops);
+      ship_values(ctx, rows, y, consumers_fwd_);
+    });
+  }
+  // Drain any values shipped by the last level (no one consumes them in the
+  // forward direction, but the queues must be left clean).
+  machine.step([&](sim::RankContext& ctx) { (void)ctx.recv_all(); });
+}
+
+void DistTriangularSolver::backward(sim::Machine& machine, const RealVec& yin,
+                                    RealVec& x) const {
+  const PilutSchedule& sched = *schedule_;
+  const Csr& u = factors_->u;
+  PTILU_CHECK(yin.size() == static_cast<std::size_t>(u.n_rows) && x.size() == yin.size(),
+              "backward size mismatch");
+  std::vector<std::unordered_map<idx, real>> ghost(sched.nranks);
+
+  // Phase 1: interface levels in reverse order.
+  for (int level = levels() - 1; level >= 0; --level) {
+    machine.step([&](sim::RankContext& ctx) {
+      const int r = ctx.rank();
+      drain_ghosts(ctx, ghost[r]);
+      std::uint64_t flops = 0;
+      const IdxVec& rows = rows_of_level_[level][r];
+      // Descending order within the level: plain PILUT levels are
+      // independent sets (order irrelevant), but the nested variant's
+      // stages carry same-host sequential dependencies.
+      for (auto it = rows.rbegin(); it != rows.rend(); ++it) {
+        const idx i = *it;
+        const nnz_t start = u.row_ptr[i];
+        real acc = yin[i];
+        for (nnz_t k = start + 1; k < u.row_ptr[i + 1]; ++k) {
+          const idx j = u.col_idx[k];
+          const real value = sched.owner_new[j] == r ? x[j] : ghost[r].at(j);
+          acc -= u.values[k] * value;
+        }
+        flops += 2 * static_cast<std::uint64_t>(u.row_nnz(i)) + 1;
+        x[i] = acc / u.values[start];
+      }
+      ctx.charge_flops(flops);
+      ship_values(ctx, rows, x, consumers_bwd_);
+    });
+  }
+
+  // Phase 2: interior blocks in reverse. Interior U rows reference their
+  // own interior block plus interface columns — the latter may live on
+  // another rank when rows migrated (nested variant), so read via ghosts.
+  machine.step([&](sim::RankContext& ctx) {
+    const int r = ctx.rank();
+    drain_ghosts(ctx, ghost[r]);
+    const auto [begin, end] = sched.interior_range[r];
+    std::uint64_t flops = 0;
+    for (idx i = end - 1; i >= begin; --i) {
+      const nnz_t start = u.row_ptr[i];
+      real acc = yin[i];
+      for (nnz_t k = start + 1; k < u.row_ptr[i + 1]; ++k) {
+        const idx j = u.col_idx[k];
+        const real value = sched.owner_new[j] == r ? x[j] : ghost[r].at(j);
+        acc -= u.values[k] * value;
+      }
+      flops += 2 * static_cast<std::uint64_t>(u.row_nnz(i)) + 1;
+      x[i] = acc / u.values[start];
+    }
+    ctx.charge_flops(flops);
+  });
+}
+
+void DistTriangularSolver::apply(sim::Machine& machine, const RealVec& b,
+                                 RealVec& x) const {
+  RealVec y(b.size());
+  forward(machine, b, y);
+  backward(machine, y, x);
+}
+
+}  // namespace ptilu

@@ -1,0 +1,165 @@
+#include "ptilu/sim/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace ptilu::sim {
+
+namespace {
+
+template <typename T>
+std::vector<std::byte> encode(const std::vector<T>& data) {
+  std::vector<std::byte> out(data.size() * sizeof(T));
+  if (!data.empty()) std::memcpy(out.data(), data.data(), out.size());
+  return out;
+}
+
+template <typename T>
+std::vector<T> decode(const Message& m) {
+  PTILU_CHECK(m.payload.size() % sizeof(T) == 0,
+              "payload size " << m.payload.size() << " not a multiple of element size");
+  std::vector<T> out(m.payload.size() / sizeof(T));
+  if (!out.empty()) std::memcpy(out.data(), m.payload.data(), m.payload.size());
+  return out;
+}
+
+}  // namespace
+
+int RankContext::nranks() const { return machine_->nranks(); }
+
+void RankContext::charge_flops(std::uint64_t n) { machine_->charge_flops(rank_, n); }
+void RankContext::charge_mem(std::uint64_t n) { machine_->charge_mem(rank_, n); }
+
+void RankContext::send_bytes(int to, int tag, std::vector<std::byte> payload) {
+  machine_->post(rank_, to, tag, std::move(payload));
+}
+
+void RankContext::send_indices(int to, int tag, const IdxVec& data) {
+  send_bytes(to, tag, encode(data));
+}
+
+void RankContext::send_reals(int to, int tag, const RealVec& data) {
+  send_bytes(to, tag, encode(data));
+}
+
+std::vector<Message> RankContext::recv_all() {
+  return std::move(machine_->inbox_[rank_]);
+}
+
+IdxVec decode_indices(const Message& m) { return decode<idx>(m); }
+RealVec decode_reals(const Message& m) { return decode<real>(m); }
+
+Machine::Machine(int nranks, MachineParams params)
+    : nranks_(nranks),
+      params_(params),
+      clock_(nranks, 0.0),
+      counters_(nranks),
+      inbox_(nranks),
+      outbox_(nranks) {
+  PTILU_CHECK(nranks >= 1, "machine needs at least one rank");
+}
+
+void Machine::charge_flops(int rank, std::uint64_t n) {
+  counters_[rank].flops += n;
+  clock_[rank] += static_cast<double>(n) * params_.flop;
+}
+
+void Machine::charge_mem(int rank, std::uint64_t n) {
+  counters_[rank].mem_bytes += n;
+  clock_[rank] += static_cast<double>(n) * params_.mem;
+}
+
+void Machine::post(int from, int to, int tag, std::vector<std::byte> payload) {
+  PTILU_CHECK(to >= 0 && to < nranks_, "send to invalid rank " << to);
+  const std::uint64_t bytes = payload.size();
+  counters_[from].messages_sent += 1;
+  counters_[from].bytes_sent += bytes;
+  // Sender pays latency plus per-byte injection cost.
+  clock_[from] += params_.alpha + static_cast<double>(bytes) * params_.beta;
+  outbox_[to].push_back(Message{from, tag, std::move(payload)});
+}
+
+void Machine::step(const std::function<void(RankContext&)>& body) {
+  for (int r = 0; r < nranks_; ++r) {
+    RankContext ctx(*this, r);
+    body(ctx);
+  }
+  // Deliver posted messages for the next superstep. Receivers pay the
+  // per-byte cost of draining their inbound traffic.
+  for (int r = 0; r < nranks_; ++r) {
+    inbox_[r] = std::move(outbox_[r]);
+    outbox_[r].clear();
+    std::uint64_t inbound = 0;
+    for (const Message& m : inbox_[r]) inbound += m.payload.size();
+    clock_[r] += static_cast<double>(inbound) * params_.beta;
+  }
+  // Barrier: all clocks advance to the max plus a latency tree.
+  const double sync =
+      params_.alpha * std::max(1.0, std::ceil(std::log2(static_cast<double>(nranks_))));
+  const double horizon = *std::max_element(clock_.begin(), clock_.end()) + sync;
+  std::fill(clock_.begin(), clock_.end(), horizon);
+  ++supersteps_;
+}
+
+double Machine::allreduce_sum(const std::function<double(int)>& value_of_rank) {
+  double total = 0.0;
+  step([&](RankContext& ctx) { total += value_of_rank(ctx.rank()); });
+  return total;
+}
+
+double Machine::allreduce_max(const std::function<double(int)>& value_of_rank) {
+  double best = -std::numeric_limits<double>::infinity();
+  step([&](RankContext& ctx) { best = std::max(best, value_of_rank(ctx.rank())); });
+  return best;
+}
+
+long long Machine::allreduce_sum_ll(const std::function<long long(int)>& value_of_rank) {
+  long long total = 0;
+  step([&](RankContext& ctx) { total += value_of_rank(ctx.rank()); });
+  return total;
+}
+
+void Machine::charge_transfer(int from, int to, std::uint64_t bytes) {
+  PTILU_CHECK(from >= 0 && from < nranks_ && to >= 0 && to < nranks_,
+              "charge_transfer: invalid rank");
+  counters_[from].messages_sent += 1;
+  counters_[from].bytes_sent += bytes;
+  clock_[from] += params_.alpha + static_cast<double>(bytes) * params_.beta;
+  clock_[to] += static_cast<double>(bytes) * params_.beta;
+}
+
+void Machine::collective(std::uint64_t payload_bytes) {
+  const double hops = std::max(1.0, std::ceil(std::log2(static_cast<double>(nranks_))));
+  const double cost =
+      hops * (params_.alpha + static_cast<double>(payload_bytes) * params_.beta);
+  const double horizon = *std::max_element(clock_.begin(), clock_.end()) + cost;
+  std::fill(clock_.begin(), clock_.end(), horizon);
+  for (auto& c : counters_) c.bytes_sent += payload_bytes;
+  ++supersteps_;
+}
+
+double Machine::modeled_time() const {
+  return *std::max_element(clock_.begin(), clock_.end());
+}
+
+RankCounters Machine::total_counters() const {
+  RankCounters total;
+  for (const auto& c : counters_) {
+    total.flops += c.flops;
+    total.mem_bytes += c.mem_bytes;
+    total.messages_sent += c.messages_sent;
+    total.bytes_sent += c.bytes_sent;
+  }
+  return total;
+}
+
+void Machine::reset() {
+  std::fill(clock_.begin(), clock_.end(), 0.0);
+  counters_.assign(nranks_, RankCounters{});
+  for (auto& box : inbox_) box.clear();
+  for (auto& box : outbox_) box.clear();
+  supersteps_ = 0;
+}
+
+}  // namespace ptilu::sim

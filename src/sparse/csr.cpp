@@ -1,0 +1,247 @@
+#include "ptilu/sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "ptilu/support/check.hpp"
+
+namespace ptilu {
+
+real Csr::at(idx i, idx j) const {
+  PTILU_ASSERT(i >= 0 && i < n_rows && j >= 0 && j < n_cols, "index out of range");
+  const auto begin = col_idx.begin() + row_ptr[i];
+  const auto end = col_idx.begin() + row_ptr[i + 1];
+  const auto it = std::lower_bound(begin, end, j);
+  if (it == end || *it != j) return 0.0;
+  return values[static_cast<std::size_t>(it - col_idx.begin())];
+}
+
+void Csr::validate() const {
+  PTILU_CHECK(n_rows >= 0 && n_cols >= 0, "negative dimensions");
+  PTILU_CHECK(row_ptr.size() == static_cast<std::size_t>(n_rows) + 1,
+              "row_ptr size " << row_ptr.size() << " != n_rows+1 " << n_rows + 1);
+  PTILU_CHECK(row_ptr.front() == 0, "row_ptr[0] must be 0");
+  PTILU_CHECK(row_ptr.back() == nnz(), "row_ptr back mismatch with nnz");
+  PTILU_CHECK(col_idx.size() == values.size(), "col_idx/values size mismatch");
+  for (idx i = 0; i < n_rows; ++i) {
+    PTILU_CHECK(row_ptr[i] <= row_ptr[i + 1], "row_ptr not monotone at row " << i);
+    for (nnz_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      PTILU_CHECK(col_idx[k] >= 0 && col_idx[k] < n_cols,
+                  "column " << col_idx[k] << " out of range in row " << i);
+      if (k > row_ptr[i]) {
+        PTILU_CHECK(col_idx[k - 1] < col_idx[k],
+                    "columns not strictly ascending in row " << i);
+      }
+    }
+  }
+}
+
+bool Csr::has_sorted_rows() const {
+  for (idx i = 0; i < n_rows; ++i) {
+    for (nnz_t k = row_ptr[i] + 1; k < row_ptr[i + 1]; ++k) {
+      if (col_idx[k - 1] >= col_idx[k]) return false;
+    }
+  }
+  return true;
+}
+
+void CooBuilder::add(idx i, idx j, real v) {
+  PTILU_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+               "COO entry (" << i << "," << j << ") out of range");
+  entries_.push_back({i, j, v});
+}
+
+void CooBuilder::reserve(std::size_t n) { entries_.reserve(n); }
+
+Csr CooBuilder::to_csr() const {
+  std::vector<Entry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+    return a.i != b.i ? a.i < b.i : a.j < b.j;
+  });
+
+  Csr m(rows_, cols_);
+  m.col_idx.reserve(sorted.size());
+  m.values.reserve(sorted.size());
+  for (std::size_t k = 0; k < sorted.size();) {
+    const idx i = sorted[k].i;
+    const idx j = sorted[k].j;
+    real sum = 0.0;
+    while (k < sorted.size() && sorted[k].i == i && sorted[k].j == j) {
+      sum += sorted[k].v;
+      ++k;
+    }
+    m.col_idx.push_back(j);
+    m.values.push_back(sum);
+    m.row_ptr[i + 1] = static_cast<nnz_t>(m.col_idx.size());
+  }
+  // Fill gaps for empty rows: row_ptr[i+1] currently 0 for rows with no entry.
+  for (idx i = 0; i < rows_; ++i) {
+    m.row_ptr[i + 1] = std::max(m.row_ptr[i + 1], m.row_ptr[i]);
+  }
+  return m;
+}
+
+Csr transpose(const Csr& a) {
+  Csr t(a.n_cols, a.n_rows);
+  t.col_idx.resize(a.col_idx.size());
+  t.values.resize(a.values.size());
+  // Count entries per column.
+  std::vector<nnz_t> count(a.n_cols + 1, 0);
+  for (const idx j : a.col_idx) ++count[j + 1];
+  for (idx j = 0; j < a.n_cols; ++j) count[j + 1] += count[j];
+  t.row_ptr = count;
+  // Scatter; rows of A are scanned in order, so each transposed row's column
+  // list (original row indices) comes out sorted.
+  for (idx i = 0; i < a.n_rows; ++i) {
+    for (nnz_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const nnz_t pos = count[a.col_idx[k]]++;
+      t.col_idx[pos] = i;
+      t.values[pos] = a.values[k];
+    }
+  }
+  return t;
+}
+
+Csr permute_symmetric(const Csr& a, const IdxVec& new_of) {
+  PTILU_CHECK(a.n_rows == a.n_cols, "symmetric permutation needs a square matrix");
+  PTILU_CHECK(is_permutation(new_of, a.n_rows), "new_of is not a permutation");
+  const IdxVec old_of = invert_permutation(new_of);
+
+  Csr b(a.n_rows, a.n_cols);
+  b.col_idx.resize(a.col_idx.size());
+  b.values.resize(a.values.size());
+  for (idx bi = 0; bi < b.n_rows; ++bi) {
+    b.row_ptr[bi + 1] = b.row_ptr[bi] + (a.row_ptr[old_of[bi] + 1] - a.row_ptr[old_of[bi]]);
+  }
+  std::vector<std::pair<idx, real>> row;
+  for (idx bi = 0; bi < b.n_rows; ++bi) {
+    const idx ai = old_of[bi];
+    row.clear();
+    for (nnz_t k = a.row_ptr[ai]; k < a.row_ptr[ai + 1]; ++k) {
+      row.emplace_back(new_of[a.col_idx[k]], a.values[k]);
+    }
+    std::sort(row.begin(), row.end());
+    nnz_t pos = b.row_ptr[bi];
+    for (const auto& [j, v] : row) {
+      b.col_idx[pos] = j;
+      b.values[pos] = v;
+      ++pos;
+    }
+  }
+  return b;
+}
+
+Csr symmetrize_pattern(const Csr& a) {
+  PTILU_CHECK(a.n_rows == a.n_cols, "symmetrize_pattern needs a square matrix");
+  const Csr t = transpose(a);
+  Csr s(a.n_rows, a.n_cols);
+  s.col_idx.reserve(a.col_idx.size());
+  s.values.reserve(a.values.size());
+  for (idx i = 0; i < a.n_rows; ++i) {
+    nnz_t ka = a.row_ptr[i], kt = t.row_ptr[i];
+    const nnz_t ea = a.row_ptr[i + 1], et = t.row_ptr[i + 1];
+    while (ka < ea || kt < et) {
+      idx ja = ka < ea ? a.col_idx[ka] : a.n_cols;
+      idx jt = kt < et ? t.col_idx[kt] : a.n_cols;
+      if (ja <= jt) {
+        s.col_idx.push_back(ja);
+        s.values.push_back(a.values[ka]);
+        ++ka;
+        if (jt == ja) ++kt;
+      } else {
+        s.col_idx.push_back(jt);
+        s.values.push_back(0.0);  // structural-only entry from A^T
+        ++kt;
+      }
+    }
+    s.row_ptr[i + 1] = static_cast<nnz_t>(s.col_idx.size());
+  }
+  return s;
+}
+
+RealVec diagonal(const Csr& a) {
+  const idx n = std::min(a.n_rows, a.n_cols);
+  RealVec d(n, 0.0);
+  for (idx i = 0; i < n; ++i) d[i] = a.at(i, i);
+  return d;
+}
+
+RealVec row_norms(const Csr& a, int p) {
+  PTILU_CHECK(p == 0 || p == 1 || p == 2, "row_norms: p must be 0 (inf), 1 or 2");
+  RealVec norms(a.n_rows, 0.0);
+  for (idx i = 0; i < a.n_rows; ++i) {
+    real acc = 0.0;
+    for (nnz_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const real v = std::abs(a.values[k]);
+      if (p == 1) acc += v;
+      else if (p == 2) acc += v * v;
+      else acc = std::max(acc, v);
+    }
+    norms[i] = (p == 2) ? std::sqrt(acc) : acc;
+  }
+  return norms;
+}
+
+bool equal(const Csr& a, const Csr& b) {
+  return a.n_rows == b.n_rows && a.n_cols == b.n_cols && a.row_ptr == b.row_ptr &&
+         a.col_idx == b.col_idx && a.values == b.values;
+}
+
+real max_abs_diff(const Csr& a, const Csr& b) {
+  PTILU_CHECK(a.n_rows == b.n_rows && a.n_cols == b.n_cols, "shape mismatch");
+  real worst = 0.0;
+  for (idx i = 0; i < a.n_rows; ++i) {
+    nnz_t ka = a.row_ptr[i], kb = b.row_ptr[i];
+    const nnz_t ea = a.row_ptr[i + 1], eb = b.row_ptr[i + 1];
+    while (ka < ea || kb < eb) {
+      const idx ja = ka < ea ? a.col_idx[ka] : a.n_cols;
+      const idx jb = kb < eb ? b.col_idx[kb] : b.n_cols;
+      if (ja == jb) {
+        worst = std::max(worst, std::abs(a.values[ka] - b.values[kb]));
+        ++ka;
+        ++kb;
+      } else if (ja < jb) {
+        worst = std::max(worst, std::abs(a.values[ka]));
+        ++ka;
+      } else {
+        worst = std::max(worst, std::abs(b.values[kb]));
+        ++kb;
+      }
+    }
+  }
+  return worst;
+}
+
+std::string to_string_dense(const Csr& a, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision);
+  for (idx i = 0; i < a.n_rows; ++i) {
+    for (idx j = 0; j < a.n_cols; ++j) {
+      oss << std::setw(precision + 8) << a.at(i, j);
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+bool is_permutation(const IdxVec& new_of, idx n) {
+  if (new_of.size() != static_cast<std::size_t>(n)) return false;
+  std::vector<bool> seen(n, false);
+  for (const idx p : new_of) {
+    if (p < 0 || p >= n || seen[p]) return false;
+    seen[p] = true;
+  }
+  return true;
+}
+
+IdxVec invert_permutation(const IdxVec& new_of) {
+  IdxVec old_of(new_of.size());
+  for (std::size_t i = 0; i < new_of.size(); ++i) {
+    old_of[new_of[i]] = static_cast<idx>(i);
+  }
+  return old_of;
+}
+
+}  // namespace ptilu

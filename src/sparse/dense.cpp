@@ -1,0 +1,64 @@
+#include "ptilu/sparse/dense.hpp"
+
+#include <cmath>
+
+#include "ptilu/support/check.hpp"
+
+namespace ptilu {
+
+Dense Dense::from_csr(const Csr& a) {
+  Dense d(a.n_rows, a.n_cols);
+  for (idx i = 0; i < a.n_rows; ++i) {
+    for (nnz_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      d(i, a.col_idx[k]) = a.values[k];
+    }
+  }
+  return d;
+}
+
+void dense_lu_nopivot(Dense& a) {
+  PTILU_CHECK(a.rows() == a.cols(), "dense LU needs a square matrix");
+  const idx n = a.rows();
+  for (idx k = 0; k < n; ++k) {
+    const real pivot = a(k, k);
+    PTILU_CHECK(pivot != 0.0, "zero pivot at step " << k << " in unpivoted dense LU");
+    for (idx i = k + 1; i < n; ++i) {
+      const real mult = a(i, k) / pivot;
+      a(i, k) = mult;
+      if (mult == 0.0) continue;
+      for (idx j = k + 1; j < n; ++j) {
+        a(i, j) -= mult * a(k, j);
+      }
+    }
+  }
+}
+
+RealVec dense_lu_solve(const Dense& lu, const RealVec& b) {
+  const idx n = lu.rows();
+  PTILU_CHECK(b.size() == static_cast<std::size_t>(n), "rhs size mismatch");
+  RealVec x = b;
+  // Forward substitution with unit lower-triangular L.
+  for (idx i = 0; i < n; ++i) {
+    for (idx j = 0; j < i; ++j) x[i] -= lu(i, j) * x[j];
+  }
+  // Backward substitution with U.
+  for (idx i = n - 1; i >= 0; --i) {
+    for (idx j = i + 1; j < n; ++j) x[i] -= lu(i, j) * x[j];
+    PTILU_CHECK(lu(i, i) != 0.0, "zero diagonal in U at row " << i);
+    x[i] /= lu(i, i);
+  }
+  return x;
+}
+
+RealVec dense_matvec(const Dense& a, const RealVec& x) {
+  PTILU_CHECK(x.size() == static_cast<std::size_t>(a.cols()), "matvec size mismatch");
+  RealVec y(a.rows(), 0.0);
+  for (idx i = 0; i < a.rows(); ++i) {
+    real acc = 0.0;
+    for (idx j = 0; j < a.cols(); ++j) acc += a(i, j) * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+}  // namespace ptilu

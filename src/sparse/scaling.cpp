@@ -1,0 +1,78 @@
+#include "ptilu/sparse/scaling.hpp"
+
+#include <cmath>
+
+#include "ptilu/support/check.hpp"
+
+namespace ptilu {
+
+RealVec Equilibration::unscale_solution(const RealVec& x_scaled) const {
+  PTILU_CHECK(x_scaled.size() == col.size(), "solution size mismatch");
+  RealVec x(x_scaled.size());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = col[i] * x_scaled[i];
+  return x;
+}
+
+RealVec Equilibration::scale_rhs(const RealVec& b) const {
+  PTILU_CHECK(b.size() == row.size(), "rhs size mismatch");
+  RealVec out(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] = row[i] * b[i];
+  return out;
+}
+
+Equilibration equilibrate_rows(const Csr& a) {
+  PTILU_CHECK(a.n_rows == a.n_cols, "equilibration needs a square matrix");
+  Equilibration eq;
+  eq.row.assign(a.n_rows, 1.0);
+  eq.col.assign(a.n_cols, 1.0);
+  eq.scaled = a;
+  const RealVec norms = row_norms(a, 0);
+  for (idx i = 0; i < a.n_rows; ++i) {
+    PTILU_CHECK(norms[i] > 0.0, "row " << i << " is entirely zero");
+    eq.row[i] = 1.0 / norms[i];
+    for (nnz_t k = eq.scaled.row_ptr[i]; k < eq.scaled.row_ptr[i + 1]; ++k) {
+      eq.scaled.values[k] *= eq.row[i];
+    }
+  }
+  return eq;
+}
+
+Equilibration equilibrate(const Csr& a, int sweeps) {
+  PTILU_CHECK(a.n_rows == a.n_cols, "equilibration needs a square matrix");
+  PTILU_CHECK(sweeps >= 1, "need at least one sweep");
+  Equilibration eq;
+  eq.row.assign(a.n_rows, 1.0);
+  eq.col.assign(a.n_cols, 1.0);
+  eq.scaled = a;
+
+  RealVec row_max(a.n_rows), col_max(a.n_cols);
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    std::fill(row_max.begin(), row_max.end(), 0.0);
+    std::fill(col_max.begin(), col_max.end(), 0.0);
+    for (idx i = 0; i < a.n_rows; ++i) {
+      for (nnz_t k = eq.scaled.row_ptr[i]; k < eq.scaled.row_ptr[i + 1]; ++k) {
+        const real v = std::abs(eq.scaled.values[k]);
+        row_max[i] = std::max(row_max[i], v);
+        col_max[eq.scaled.col_idx[k]] = std::max(col_max[eq.scaled.col_idx[k]], v);
+      }
+    }
+    for (idx i = 0; i < a.n_rows; ++i) {
+      PTILU_CHECK(row_max[i] > 0.0, "row " << i << " is entirely zero");
+      PTILU_CHECK(col_max[i] > 0.0, "column " << i << " is entirely zero");
+      // Ruiz damping: divide by the square roots so row and column scalings
+      // converge jointly instead of fighting each other.
+      row_max[i] = 1.0 / std::sqrt(row_max[i]);
+      col_max[i] = 1.0 / std::sqrt(col_max[i]);
+      eq.row[i] *= row_max[i];
+      eq.col[i] *= col_max[i];
+    }
+    for (idx i = 0; i < a.n_rows; ++i) {
+      for (nnz_t k = eq.scaled.row_ptr[i]; k < eq.scaled.row_ptr[i + 1]; ++k) {
+        eq.scaled.values[k] *= row_max[i] * col_max[eq.scaled.col_idx[k]];
+      }
+    }
+  }
+  return eq;
+}
+
+}  // namespace ptilu

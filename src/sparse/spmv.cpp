@@ -1,0 +1,38 @@
+#include "ptilu/sparse/spmv.hpp"
+
+#include "ptilu/support/check.hpp"
+
+namespace ptilu {
+
+void spmv(const Csr& a, std::span<const real> x, std::span<real> y) {
+  PTILU_CHECK(x.size() == static_cast<std::size_t>(a.n_cols), "spmv: x size mismatch");
+  PTILU_CHECK(y.size() == static_cast<std::size_t>(a.n_rows), "spmv: y size mismatch");
+  for (idx i = 0; i < a.n_rows; ++i) {
+    real acc = 0.0;
+    for (nnz_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      acc += a.values[k] * x[a.col_idx[k]];
+    }
+    y[i] = acc;
+  }
+}
+
+void spmv(real alpha, const Csr& a, std::span<const real> x, real beta, std::span<real> y) {
+  PTILU_CHECK(x.size() == static_cast<std::size_t>(a.n_cols), "spmv: x size mismatch");
+  PTILU_CHECK(y.size() == static_cast<std::size_t>(a.n_rows), "spmv: y size mismatch");
+  for (idx i = 0; i < a.n_rows; ++i) {
+    real acc = 0.0;
+    for (nnz_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      acc += a.values[k] * x[a.col_idx[k]];
+    }
+    y[i] = alpha * acc + beta * y[i];
+  }
+}
+
+void residual(const Csr& a, std::span<const real> x, std::span<const real> b,
+              std::span<real> r) {
+  PTILU_CHECK(b.size() == static_cast<std::size_t>(a.n_rows), "residual: b size mismatch");
+  spmv(a, x, r);
+  for (idx i = 0; i < a.n_rows; ++i) r[i] = b[i] - r[i];
+}
+
+}  // namespace ptilu

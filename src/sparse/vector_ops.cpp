@@ -1,0 +1,40 @@
+#include "ptilu/sparse/vector_ops.hpp"
+
+#include <cmath>
+
+#include "ptilu/support/check.hpp"
+
+namespace ptilu {
+
+void axpy(real alpha, std::span<const real> x, std::span<real> y) {
+  PTILU_ASSERT(x.size() == y.size(), "axpy size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scal(real alpha, std::span<real> x) {
+  for (real& v : x) v *= alpha;
+}
+
+real dot(std::span<const real> x, std::span<const real> y) {
+  PTILU_ASSERT(x.size() == y.size(), "dot size mismatch");
+  real acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+real norm2(std::span<const real> x) { return std::sqrt(dot(x, x)); }
+
+real norm_inf(std::span<const real> x) {
+  real acc = 0.0;
+  for (const real v : x) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+real max_abs_diff(std::span<const real> x, std::span<const real> y) {
+  PTILU_ASSERT(x.size() == y.size(), "max_abs_diff size mismatch");
+  real acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc = std::max(acc, std::abs(x[i] - y[i]));
+  return acc;
+}
+
+}  // namespace ptilu

@@ -1,0 +1,13 @@
+#include "ptilu/support/check.hpp"
+
+namespace ptilu::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream oss;
+  oss << "PTILU_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw Error(oss.str());
+}
+
+}  // namespace ptilu::detail

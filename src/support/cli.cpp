@@ -1,0 +1,103 @@
+#include "ptilu/support/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "ptilu/support/check.hpp"
+
+namespace ptilu {
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream iss(s);
+  while (std::getline(iss, item, ',')) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    PTILU_CHECK(arg.rfind("--", 0) == 0, "expected --name=value flag, got '" << arg << "'");
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  consumed_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& fallback) const {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long long Cli::get_int(const std::string& name, long long fallback) const {
+  const std::string s = get_string(name, "");
+  if (s.empty()) return fallback;
+  std::size_t pos = 0;
+  const long long v = std::stoll(s, &pos);
+  PTILU_CHECK(pos == s.size(), "flag --" << name << " is not an integer: '" << s << "'");
+  return v;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const std::string s = get_string(name, "");
+  if (s.empty()) return fallback;
+  std::size_t pos = 0;
+  const double v = std::stod(s, &pos);
+  PTILU_CHECK(pos == s.size(), "flag --" << name << " is not a number: '" << s << "'");
+  return v;
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const std::string s = get_string(name, "");
+  if (s.empty()) return fallback;
+  if (s == "true" || s == "1" || s == "yes") return true;
+  if (s == "false" || s == "0" || s == "no") return false;
+  PTILU_CHECK(false, "flag --" << name << " is not a boolean: '" << s << "'");
+  return fallback;
+}
+
+std::vector<int> Cli::get_int_list(const std::string& name, std::vector<int> fallback) const {
+  const std::string s = get_string(name, "");
+  if (s.empty()) return fallback;
+  std::vector<int> out;
+  for (const auto& item : split_commas(s)) {
+    out.push_back(static_cast<int>(std::stoll(item)));
+  }
+  PTILU_CHECK(!out.empty(), "flag --" << name << " is an empty list");
+  return out;
+}
+
+std::vector<double> Cli::get_double_list(const std::string& name,
+                                         std::vector<double> fallback) const {
+  const std::string s = get_string(name, "");
+  if (s.empty()) return fallback;
+  std::vector<double> out;
+  for (const auto& item : split_commas(s)) out.push_back(std::stod(item));
+  PTILU_CHECK(!out.empty(), "flag --" << name << " is an empty list");
+  return out;
+}
+
+void Cli::check_all_consumed() const {
+  for (const auto& [name, value] : values_) {
+    PTILU_CHECK(consumed_.count(name) > 0, "unknown flag --" << name << "=" << value);
+  }
+}
+
+}  // namespace ptilu

@@ -1,0 +1,140 @@
+#include "ptilu/workloads/grids.hpp"
+
+#include <cmath>
+
+#include "ptilu/support/check.hpp"
+#include "ptilu/support/rng.hpp"
+
+namespace ptilu::workloads {
+
+Csr convection_diffusion_2d(idx nx, idx ny, real cx, real cy) {
+  PTILU_CHECK(nx >= 1 && ny >= 1, "grid must be at least 1x1");
+  const real h = 1.0 / static_cast<real>(nx + 1);
+  auto id = [nx](idx x, idx y) { return y * nx + x; };
+
+  CooBuilder b(nx * ny, nx * ny);
+  b.reserve(static_cast<std::size_t>(nx) * ny * 5);
+  // Centered differences: -Δu contributes (4, -1, -1, -1, -1)/h²; the
+  // convection term c·∇u contributes ±c/(2h) on the east/west (north/south)
+  // neighbors. We scale the whole row by h² so the diagonal is O(1).
+  const real west = -1.0 - cx * h / 2.0;
+  const real east = -1.0 + cx * h / 2.0;
+  const real south = -1.0 - cy * h / 2.0;
+  const real north = -1.0 + cy * h / 2.0;
+  for (idx y = 0; y < ny; ++y) {
+    for (idx x = 0; x < nx; ++x) {
+      const idx row = id(x, y);
+      b.add(row, row, 4.0);
+      if (x > 0) b.add(row, id(x - 1, y), west);
+      if (x + 1 < nx) b.add(row, id(x + 1, y), east);
+      if (y > 0) b.add(row, id(x, y - 1), south);
+      if (y + 1 < ny) b.add(row, id(x, y + 1), north);
+    }
+  }
+  return b.to_csr();
+}
+
+Csr poisson_3d(idx nx, idx ny, idx nz) {
+  PTILU_CHECK(nx >= 1 && ny >= 1 && nz >= 1, "grid must be at least 1x1x1");
+  auto id = [nx, ny](idx x, idx y, idx z) { return (z * ny + y) * nx + x; };
+  CooBuilder b(nx * ny * nz, nx * ny * nz);
+  b.reserve(static_cast<std::size_t>(nx) * ny * nz * 7);
+  for (idx z = 0; z < nz; ++z) {
+    for (idx y = 0; y < ny; ++y) {
+      for (idx x = 0; x < nx; ++x) {
+        const idx row = id(x, y, z);
+        b.add(row, row, 6.0);
+        if (x > 0) b.add(row, id(x - 1, y, z), -1.0);
+        if (x + 1 < nx) b.add(row, id(x + 1, y, z), -1.0);
+        if (y > 0) b.add(row, id(x, y - 1, z), -1.0);
+        if (y + 1 < ny) b.add(row, id(x, y + 1, z), -1.0);
+        if (z > 0) b.add(row, id(x, y, z - 1), -1.0);
+        if (z + 1 < nz) b.add(row, id(x, y, z + 1), -1.0);
+      }
+    }
+  }
+  return b.to_csr();
+}
+
+Csr anisotropic_2d(idx nx, idx ny, real eps) {
+  PTILU_CHECK(nx >= 1 && ny >= 1, "grid must be at least 1x1");
+  PTILU_CHECK(eps > 0, "eps must be positive");
+  auto id = [nx](idx x, idx y) { return y * nx + x; };
+  CooBuilder b(nx * ny, nx * ny);
+  for (idx y = 0; y < ny; ++y) {
+    for (idx x = 0; x < nx; ++x) {
+      const idx row = id(x, y);
+      b.add(row, row, 2.0 * eps + 2.0);
+      if (x > 0) b.add(row, id(x - 1, y), -eps);
+      if (x + 1 < nx) b.add(row, id(x + 1, y), -eps);
+      if (y > 0) b.add(row, id(x, y - 1), -1.0);
+      if (y + 1 < ny) b.add(row, id(x, y + 1), -1.0);
+    }
+  }
+  return b.to_csr();
+}
+
+Csr jump_coefficient_2d(idx nx, idx ny, real contrast, std::uint64_t seed) {
+  PTILU_CHECK(nx >= 1 && ny >= 1, "grid must be at least 1x1");
+  PTILU_CHECK(contrast >= 0, "contrast must be non-negative");
+  Rng rng(seed);
+  // Cell-centered log-uniform coefficients on an (nx+1) x (ny+1) cell grid.
+  const idx cx_count = nx + 1;
+  const idx cy_count = ny + 1;
+  RealVec sigma(static_cast<std::size_t>(cx_count) * cy_count);
+  for (auto& s : sigma) s = std::pow(10.0, rng.uniform(0.0, contrast));
+  auto cell = [&](idx x, idx y) { return sigma[static_cast<std::size_t>(y) * cx_count + x]; };
+  // Face coefficient between nodes = harmonic mean of the two adjacent cells
+  // above/below the face (simple vertical averaging keeps this compact).
+  auto face_x = [&](idx x, idx y) {  // face between (x,y) and (x+1,y)
+    const real a = cell(x + 1, y);
+    const real b2 = cell(x + 1, y + 1);
+    return 2.0 * a * b2 / (a + b2);
+  };
+  auto face_y = [&](idx x, idx y) {  // face between (x,y) and (x,y+1)
+    const real a = cell(x, y + 1);
+    const real b2 = cell(x + 1, y + 1);
+    return 2.0 * a * b2 / (a + b2);
+  };
+
+  auto id = [nx](idx x, idx y) { return y * nx + x; };
+  CooBuilder b(nx * ny, nx * ny);
+  for (idx y = 0; y < ny; ++y) {
+    for (idx x = 0; x < nx; ++x) {
+      const idx row = id(x, y);
+      real diag = 0.0;
+      if (x > 0) {
+        const real w = face_x(x - 1, y);
+        b.add(row, id(x - 1, y), -w);
+        diag += w;
+      } else {
+        diag += face_x(x, y);  // Dirichlet boundary face
+      }
+      if (x + 1 < nx) {
+        const real w = face_x(x, y);
+        b.add(row, id(x + 1, y), -w);
+        diag += w;
+      } else {
+        diag += face_x(x - 1 >= 0 ? x - 1 : 0, y);
+      }
+      if (y > 0) {
+        const real w = face_y(x, y - 1);
+        b.add(row, id(x, y - 1), -w);
+        diag += w;
+      } else {
+        diag += face_y(x, y);
+      }
+      if (y + 1 < ny) {
+        const real w = face_y(x, y);
+        b.add(row, id(x, y + 1), -w);
+        diag += w;
+      } else {
+        diag += face_y(x, y - 1 >= 0 ? y - 1 : 0);
+      }
+      b.add(row, row, diag);
+    }
+  }
+  return b.to_csr();
+}
+
+}  // namespace ptilu::workloads

@@ -1,0 +1,56 @@
+#include "ptilu/workloads/rhs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "ptilu/sparse/spmv.hpp"
+#include "ptilu/support/rng.hpp"
+
+namespace ptilu::workloads {
+
+RealVec rhs_all_ones_solution(const Csr& a) {
+  RealVec ones(a.n_cols, 1.0);
+  RealVec b(a.n_rows, 0.0);
+  spmv(a, ones, b);
+  return b;
+}
+
+RealVec random_vector(idx n, std::uint64_t seed) {
+  Rng rng(seed);
+  RealVec v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+MatrixStats matrix_stats(const Csr& a) {
+  MatrixStats stats;
+  stats.n = a.n_rows;
+  stats.nnz = a.nnz();
+  stats.avg_row_nnz = a.n_rows > 0
+                          ? static_cast<real>(a.nnz()) / static_cast<real>(a.n_rows)
+                          : 0.0;
+  for (idx i = 0; i < a.n_rows; ++i) {
+    stats.max_row_nnz = std::max(stats.max_row_nnz, a.row_nnz(i));
+  }
+  const Csr t = transpose(a);
+  stats.symmetry_gap = max_abs_diff(a, t);
+  stats.has_full_diagonal = true;
+  for (idx i = 0; i < std::min(a.n_rows, a.n_cols); ++i) {
+    if (a.at(i, i) == 0.0) {
+      stats.has_full_diagonal = false;
+      break;
+    }
+  }
+  return stats;
+}
+
+std::string describe(const MatrixStats& stats) {
+  std::ostringstream oss;
+  oss << "n=" << stats.n << " nnz=" << stats.nnz << " avg_row=" << stats.avg_row_nnz
+      << " max_row=" << stats.max_row_nnz << " sym_gap=" << stats.symmetry_gap
+      << " full_diag=" << (stats.has_full_diagonal ? "yes" : "no");
+  return oss.str();
+}
+
+}  // namespace ptilu::workloads

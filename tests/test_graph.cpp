@@ -1,0 +1,198 @@
+// Unit tests for the graph module: construction, coloring, serial MIS.
+#include <gtest/gtest.h>
+
+#include "ptilu/graph/coloring.hpp"
+#include "ptilu/graph/graph.hpp"
+#include "ptilu/graph/mis.hpp"
+#include "ptilu/support/check.hpp"
+#include "ptilu/support/rng.hpp"
+
+namespace ptilu {
+namespace {
+
+Graph path_graph(idx n) {
+  std::vector<std::pair<idx, idx>> edges;
+  for (idx i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return graph_from_edges(n, edges);
+}
+
+Graph grid_graph(idx nx, idx ny) {
+  std::vector<std::pair<idx, idx>> edges;
+  auto id = [nx](idx x, idx y) { return y * nx + x; };
+  for (idx y = 0; y < ny; ++y) {
+    for (idx x = 0; x < nx; ++x) {
+      if (x + 1 < nx) edges.emplace_back(id(x, y), id(x + 1, y));
+      if (y + 1 < ny) edges.emplace_back(id(x, y), id(x, y + 1));
+    }
+  }
+  return graph_from_edges(nx * ny, edges);
+}
+
+Graph random_graph(idx n, idx edges_per_vertex, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<idx, idx>> edges;
+  for (idx v = 0; v < n; ++v) {
+    for (idx e = 0; e < edges_per_vertex; ++e) {
+      const idx u = rng.next_index(n);
+      if (u != v) edges.emplace_back(v, u);
+    }
+  }
+  return graph_from_edges(n, edges);
+}
+
+TEST(Graph, FromEdgesIsSymmetric) {
+  const Graph g = random_graph(100, 4, 7);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Graph, PathDegrees) {
+  const Graph g = path_graph(5);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 2);
+  EXPECT_EQ(g.degree(4), 1);
+  EXPECT_EQ(g.num_edges_directed(), 8);
+}
+
+TEST(Graph, SelfLoopsDropped) {
+  const Graph g = graph_from_edges(3, {{0, 0}, {0, 1}});
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.num_edges_directed(), 2);
+}
+
+TEST(Graph, DuplicateEdgesMergeWithWeight) {
+  const Graph g = graph_from_edges(2, {{0, 1}, {1, 0}, {0, 1}});
+  EXPECT_EQ(g.degree(0), 1);
+  // 3 input directed pairs → each direction seen 3 times → weight 3.
+  EXPECT_EQ(g.ewgt[g.xadj[0]], 3);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Graph, FromPatternDropsDiagonalAndSymmetrizes) {
+  CooBuilder b(3, 3);
+  b.add(0, 0, 5.0);
+  b.add(0, 2, 1.0);  // only one direction present
+  b.add(1, 1, 5.0);
+  const Graph g = graph_from_pattern(b.to_csr());
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 0);
+  EXPECT_EQ(g.degree(2), 1);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Graph, ComponentCount) {
+  const Graph g = graph_from_edges(6, {{0, 1}, {1, 2}, {3, 4}});
+  EXPECT_EQ(count_components(g), 3);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(count_components(grid_graph(8, 8)), 1);
+}
+
+TEST(Coloring, PathUsesTwoColors) {
+  const Coloring c = greedy_coloring(path_graph(10));
+  EXPECT_EQ(c.num_colors, 2);
+  EXPECT_TRUE(is_valid_coloring(path_graph(10), c));
+}
+
+TEST(Coloring, GridIsBipartite) {
+  const Graph g = grid_graph(7, 9);
+  const Coloring c = greedy_coloring(g);
+  EXPECT_EQ(c.num_colors, 2);
+  EXPECT_TRUE(is_valid_coloring(g, c));
+}
+
+TEST(Coloring, RandomGraphValid) {
+  const Graph g = random_graph(200, 5, 13);
+  const Coloring c = greedy_coloring(g);
+  EXPECT_TRUE(is_valid_coloring(g, c));
+  idx max_degree = 0;
+  for (idx v = 0; v < g.n; ++v) max_degree = std::max(max_degree, g.degree(v));
+  EXPECT_LE(c.num_colors, max_degree + 1);
+}
+
+TEST(Coloring, ColorClassesAreIndependent) {
+  const Graph g = random_graph(150, 4, 99);
+  const Coloring c = greedy_coloring(g);
+  for (idx color = 0; color < c.num_colors; ++color) {
+    EXPECT_TRUE(is_independent(g, c.color_class(color)));
+  }
+}
+
+TEST(Mis, GreedyIsMaximal) {
+  const Graph g = random_graph(300, 4, 4);
+  const IdxVec set = greedy_mis(g);
+  EXPECT_TRUE(is_maximal_independent(g, set));
+}
+
+TEST(Mis, LubyIsIndependent) {
+  const Graph g = random_graph(300, 4, 4);
+  const IdxVec set = luby_mis(g, {.seed = 9, .rounds = 5});
+  EXPECT_TRUE(is_independent(g, set));
+  EXPECT_GT(set.size(), 0u);
+}
+
+TEST(Mis, LubyManyRoundsIsMaximal) {
+  const Graph g = random_graph(300, 4, 4);
+  const IdxVec set = luby_mis(g, {.seed = 9, .rounds = 64});
+  EXPECT_TRUE(is_maximal_independent(g, set));
+}
+
+TEST(Mis, FiveRoundsNearlyMaximal) {
+  // The paper's observation: 5 rounds finds the large majority of a MIS.
+  const Graph g = random_graph(2000, 4, 11);
+  const auto five = luby_mis(g, {.seed = 1, .rounds = 5});
+  const auto full = luby_mis(g, {.seed = 1, .rounds = 64});
+  EXPECT_GE(five.size() * 10, full.size() * 9);  // >= 90% of maximal size
+}
+
+TEST(Mis, RespectsActiveMask) {
+  const Graph g = path_graph(10);
+  std::vector<bool> active(10, false);
+  for (idx v = 0; v < 5; ++v) active[v] = true;
+  const IdxVec set = luby_mis(g, {.seed = 3, .rounds = 64}, &active);
+  for (const idx v : set) EXPECT_LT(v, 5);
+  EXPECT_TRUE(is_maximal_independent(g, set, &active));
+}
+
+TEST(Mis, EmptyGraph) {
+  Graph g;
+  g.n = 0;
+  g.xadj = {0};
+  const IdxVec set = luby_mis(g);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(Mis, SingletonAndIsolatedVertices) {
+  const Graph g = graph_from_edges(4, {{1, 2}});
+  const IdxVec set = luby_mis(g, {.seed = 5, .rounds = 64});
+  EXPECT_TRUE(is_maximal_independent(g, set));
+  // Isolated vertices 0 and 3 must always be chosen.
+  EXPECT_TRUE(std::find(set.begin(), set.end(), 0) != set.end());
+  EXPECT_TRUE(std::find(set.begin(), set.end(), 3) != set.end());
+}
+
+TEST(Mis, CompleteGraphPicksExactlyOne) {
+  std::vector<std::pair<idx, idx>> edges;
+  for (idx u = 0; u < 8; ++u) {
+    for (idx v = u + 1; v < 8; ++v) edges.emplace_back(u, v);
+  }
+  const Graph g = graph_from_edges(8, edges);
+  const IdxVec set = luby_mis(g, {.seed = 2, .rounds = 64});
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(Mis, DeterministicForFixedSeed) {
+  const Graph g = random_graph(500, 5, 8);
+  const auto a = luby_mis(g, {.seed = 77, .rounds = 5});
+  const auto b = luby_mis(g, {.seed = 77, .rounds = 5});
+  EXPECT_EQ(a, b);
+}
+
+TEST(Mis, IsIndependentDetectsViolation) {
+  const Graph g = path_graph(3);
+  EXPECT_FALSE(is_independent(g, {0, 1}));
+  EXPECT_TRUE(is_independent(g, {0, 2}));
+  EXPECT_TRUE(is_maximal_independent(g, {0, 2}));
+  EXPECT_TRUE(is_maximal_independent(g, {1}));   // 1 dominates both endpoints
+  EXPECT_FALSE(is_maximal_independent(g, {0}));  // 2 could still be added
+}
+
+}  // namespace
+}  // namespace ptilu

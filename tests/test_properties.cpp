@@ -1,0 +1,240 @@
+// Parameterized property suites: invariants checked across sweeps of the
+// algorithmic parameter space (TEST_P / INSTANTIATE_TEST_SUITE_P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "ptilu/dist/distcsr.hpp"
+#include "ptilu/graph/graph.hpp"
+#include "ptilu/graph/mis.hpp"
+#include "ptilu/ilu/ilut.hpp"
+#include "ptilu/ilu/trisolve.hpp"
+#include "ptilu/part/partition.hpp"
+#include "ptilu/pilut/pilut.hpp"
+#include "ptilu/pilut/trisolve_dist.hpp"
+#include "ptilu/sparse/spmv.hpp"
+#include "ptilu/sparse/vector_ops.hpp"
+#include "ptilu/support/rng.hpp"
+#include "ptilu/workloads/grids.hpp"
+#include "ptilu/workloads/rhs.hpp"
+#include "ptilu/workloads/torso.hpp"
+
+namespace ptilu {
+namespace {
+
+// ---------------------------------------------------------------- ILUT --
+
+class IlutSweep : public ::testing::TestWithParam<std::tuple<idx, real>> {};
+
+TEST_P(IlutSweep, FactorsSatisfyAllInvariants) {
+  const auto [m, tau] = GetParam();
+  const Csr a = workloads::convection_diffusion_2d(18, 18, 7.0, 3.0);
+  IlutStats stats;
+  const IluFactors f = ilut(a, {.m = m, .tau = tau}, &stats);
+  f.validate();
+  const RealVec norms = row_norms(a, 2);
+  for (idx i = 0; i < f.n(); ++i) {
+    // Row caps.
+    ASSERT_LE(f.l.row_nnz(i), m);
+    ASSERT_LE(f.u.row_nnz(i), m + 1);
+    // Threshold: no stored entry below tau * ||a_i||_2 (diagonal exempt).
+    for (nnz_t k = f.l.row_ptr[i]; k < f.l.row_ptr[i + 1]; ++k) {
+      ASSERT_GE(std::abs(f.l.values[k]), tau * norms[i]);
+    }
+    for (nnz_t k = f.u.row_ptr[i] + 1; k < f.u.row_ptr[i + 1]; ++k) {
+      ASSERT_GE(std::abs(f.u.values[k]), tau * norms[i]);
+    }
+  }
+}
+
+TEST_P(IlutSweep, ApplyIsLinear) {
+  // M^{-1}(alpha x + y) == alpha M^{-1}x + M^{-1}y — triangular solves are
+  // linear operators regardless of dropping.
+  const auto [m, tau] = GetParam();
+  const Csr a = workloads::jump_coefficient_2d(12, 12, 3.0, 4);
+  const IluFactors f = ilut(a, {.m = m, .tau = tau});
+  const idx n = a.n_rows;
+  const RealVec x = workloads::random_vector(n, 1);
+  const RealVec y = workloads::random_vector(n, 2);
+  const real alpha = 1.75;
+  RealVec combined(n), fx(n), fy(n), separate(n);
+  for (idx i = 0; i < n; ++i) combined[i] = alpha * x[i] + y[i];
+  RealVec out_combined(n);
+  ilu_apply(f, combined, out_combined);
+  ilu_apply(f, x, fx);
+  ilu_apply(f, y, fy);
+  for (idx i = 0; i < n; ++i) separate[i] = alpha * fx[i] + fy[i];
+  EXPECT_LT(max_abs_diff(out_combined, separate), 1e-8);
+}
+
+std::string ilut_sweep_name(const ::testing::TestParamInfo<std::tuple<idx, real>>& info) {
+  const idx m = std::get<0>(info.param);
+  const real tau = std::get<1>(info.param);
+  const int exponent = tau == 0.0 ? 0 : static_cast<int>(-std::log10(tau));
+  std::string name = "m";
+  name += std::to_string(m);
+  name += "_tau1em";
+  name += std::to_string(exponent);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(MTauGrid, IlutSweep,
+                         ::testing::Combine(::testing::Values(1, 3, 5, 10, 20),
+                                            ::testing::Values(0.0, 1e-6, 1e-4, 1e-2)),
+                         ilut_sweep_name);
+
+// --------------------------------------------------------------- PILUT --
+
+class PilutSweep
+    : public ::testing::TestWithParam<std::tuple<int, idx, real, idx>> {};
+
+TEST_P(PilutSweep, SerialEquivalenceAndInvariants) {
+  const auto [nranks, m, tau, cap_k] = GetParam();
+  const Csr a = workloads::convection_diffusion_2d(16, 16, 5.0, 2.0);
+  const Graph g = graph_from_pattern(a);
+  const Partition p = partition_kway(g, nranks);
+  const DistCsr dist = DistCsr::create(a, p);
+  sim::Machine machine(nranks);
+  const PilutResult result =
+      pilut_factor(machine, dist, {.m = m, .tau = tau, .cap_k = cap_k});
+  result.factors.validate();
+  result.schedule.validate();
+
+  if (cap_k == 0) {
+    // Uncapped parallel ILUT == serial ILUT on the permuted matrix, exactly.
+    const Csr pa = permute_symmetric(a, result.schedule.newnum);
+    const IluFactors serial = ilut(pa, {.m = m, .tau = tau});
+    ASSERT_TRUE(equal(result.factors.l, serial.l));
+    ASSERT_TRUE(equal(result.factors.u, serial.u));
+  } else {
+    ASSERT_LE(result.stats.max_reduced_row, static_cast<nnz_t>(cap_k * m + 1));
+  }
+
+  // Parallel triangular solves match serial solves on the same factors.
+  DistTriangularSolver solver(result.factors, result.schedule);
+  const RealVec b = workloads::random_vector(a.n_rows, 3);
+  RealVec x_par(a.n_rows), x_ser(a.n_rows);
+  machine.reset();
+  solver.apply(machine, b, x_par);
+  ilu_apply(result.factors, b, x_ser);
+  ASSERT_LT(max_abs_diff(x_par, x_ser), 1e-11);
+}
+
+std::string pilut_sweep_name(
+    const ::testing::TestParamInfo<std::tuple<int, idx, real, idx>>& info) {
+  std::string name = "p";
+  name += std::to_string(std::get<0>(info.param));
+  name += "_m";
+  name += std::to_string(std::get<1>(info.param));
+  name += "_tau1em";
+  name += std::to_string(static_cast<int>(-std::log10(std::get<2>(info.param))));
+  name += "_k";
+  name += std::to_string(std::get<3>(info.param));
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RankConfigGrid, PilutSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4, 8), ::testing::Values(3, 8),
+                       ::testing::Values(1e-2, 1e-5), ::testing::Values(0, 1, 2)),
+    pilut_sweep_name);
+
+// ---------------------------------------------------------- partitioner --
+
+class PartitionSweep : public ::testing::TestWithParam<std::tuple<idx, std::uint64_t>> {};
+
+TEST_P(PartitionSweep, InvariantsOnGridAndRandomGraphs) {
+  const auto [nparts, seed] = GetParam();
+  const Csr a = workloads::convection_diffusion_2d(24, 24);
+  const Graph g = graph_from_pattern(a);
+  const Partition p = partition_kway(g, nparts, {.seed = seed});
+  p.validate(g.n);
+  EXPECT_LT(imbalance(g, p), 1.15) << "nparts=" << nparts << " seed=" << seed;
+  // Multilevel beats random cut at every size.
+  EXPECT_LT(edge_cut(g, p), edge_cut(g, partition_random(g, nparts, seed)));
+}
+
+std::string partition_sweep_name(
+    const ::testing::TestParamInfo<std::tuple<idx, std::uint64_t>>& info) {
+  std::string name = "k";
+  name += std::to_string(std::get<0>(info.param));
+  name += "_seed";
+  name += std::to_string(std::get<1>(info.param));
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(KSeedGrid, PartitionSweep,
+                         ::testing::Combine(::testing::Values(2, 3, 5, 8, 16, 32),
+                                            ::testing::Values(1u, 2u, 3u)),
+                         partition_sweep_name);
+
+// ------------------------------------------------------------------ MIS --
+
+class MisSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MisSweep, LubyIndependentOnRandomGraphs) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  std::vector<std::pair<idx, idx>> edges;
+  const idx n = 200;
+  for (idx e = 0; e < 600; ++e) {
+    edges.emplace_back(rng.next_index(n), rng.next_index(n));
+  }
+  const Graph g = graph_from_edges(n, edges);
+  const IdxVec five = luby_mis(g, {.seed = seed, .rounds = 5});
+  EXPECT_TRUE(is_independent(g, five));
+  const IdxVec full = luby_mis(g, {.seed = seed, .rounds = 64});
+  EXPECT_TRUE(is_maximal_independent(g, full));
+  EXPECT_LE(five.size(), full.size() + 5);  // five rounds finds most of it
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MisSweep, ::testing::Range<std::uint64_t>(1, 11));
+
+// ---------------------------------------------------------------- ILU(k) --
+
+TEST(IlukQuality, PreconditionedOperatorImprovesWithLevel) {
+  // ||x - U^{-1}L^{-1}A x|| / ||x|| decreases (weakly) as the fill level
+  // grows — more retained fill means a closer approximation of A.
+  const Csr a = workloads::convection_diffusion_2d(16, 16, 3.0, 3.0);
+  const RealVec x = workloads::random_vector(a.n_rows, 7);
+  RealVec ax(a.n_rows), mx(a.n_rows), err(a.n_rows);
+  spmv(a, x, ax);
+  real prev_error = 1e9;
+  for (const idx level : {0, 1, 2, 3, 4}) {
+    const IluFactors f = iluk(a, level);
+    f.validate();
+    ilu_apply(f, ax, mx);
+    for (idx i = 0; i < a.n_rows; ++i) err[i] = mx[i] - x[i];
+    const real error = norm2(err) / norm2(x);
+    EXPECT_LT(error, prev_error * 1.05) << "level " << level;
+    prev_error = error;
+  }
+}
+
+// --------------------------------------------------- distributed solves --
+
+class DistSpmvSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistSpmvSweep, MatchesSerialOnTorso) {
+  const int nranks = GetParam();
+  workloads::TorsoOptions opts;
+  opts.nx = opts.ny = 10;
+  opts.nz = 14;
+  const Csr a = workloads::fem_torso_3d(opts).a;
+  const Graph g = graph_from_pattern(a);
+  const Partition p = partition_kway(g, nranks);
+  const DistCsr dist = DistCsr::create(a, p);
+  const Halo halo = Halo::build(dist);
+  sim::Machine machine(nranks);
+  const RealVec x = workloads::random_vector(a.n_rows, 11);
+  RealVec y_par(a.n_rows), y_ser(a.n_rows);
+  dist_spmv(machine, dist, halo, x, y_par);
+  spmv(a, x, y_ser);
+  EXPECT_LT(max_abs_diff(y_par, y_ser), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistSpmvSweep, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace ptilu

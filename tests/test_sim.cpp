@@ -1,0 +1,201 @@
+// Tests for the simulated distributed-memory machine (BSP cost model).
+#include <gtest/gtest.h>
+
+#include "ptilu/sim/machine.hpp"
+
+namespace ptilu::sim {
+namespace {
+
+TEST(Machine, StartsAtZero) {
+  Machine m(4);
+  EXPECT_EQ(m.nranks(), 4);
+  EXPECT_DOUBLE_EQ(m.modeled_time(), 0.0);
+  EXPECT_EQ(m.supersteps(), 0u);
+}
+
+TEST(Machine, FlopsAdvanceClock) {
+  Machine m(2);
+  m.step([](RankContext& ctx) {
+    if (ctx.rank() == 0) ctx.charge_flops(1000);
+  });
+  // Barrier raises everyone to rank 0's time plus sync cost.
+  const double expected = 1000 * m.params().flop;
+  EXPECT_GE(m.modeled_time(), expected);
+  EXPECT_DOUBLE_EQ(m.rank_time(0), m.rank_time(1));
+}
+
+TEST(Machine, BarrierTakesMaxOverRanks) {
+  Machine m(3);
+  m.step([](RankContext& ctx) {
+    ctx.charge_flops(static_cast<std::uint64_t>(ctx.rank()) * 1000);
+  });
+  const double expected_work = 2000 * m.params().flop;  // slowest rank
+  EXPECT_GE(m.modeled_time(), expected_work);
+  EXPECT_LT(m.modeled_time(), expected_work + 1e-4);
+}
+
+TEST(Machine, MessagesDeliveredNextStep) {
+  Machine m(2);
+  m.step([](RankContext& ctx) {
+    if (ctx.rank() == 0) ctx.send_indices(1, /*tag=*/7, {10, 20, 30});
+  });
+  bool received = false;
+  m.step([&](RankContext& ctx) {
+    const auto msgs = ctx.recv_all();
+    if (ctx.rank() == 1) {
+      ASSERT_EQ(msgs.size(), 1u);
+      EXPECT_EQ(msgs[0].from, 0);
+      EXPECT_EQ(msgs[0].tag, 7);
+      const IdxVec data = decode_indices(msgs[0]);
+      EXPECT_EQ(data, (IdxVec{10, 20, 30}));
+      received = true;
+    } else {
+      EXPECT_TRUE(msgs.empty());
+    }
+  });
+  EXPECT_TRUE(received);
+}
+
+TEST(Machine, RealPayloadRoundTrips) {
+  Machine m(2);
+  m.step([](RankContext& ctx) {
+    if (ctx.rank() == 1) ctx.send_reals(0, 1, {1.5, -2.25});
+  });
+  m.step([](RankContext& ctx) {
+    const auto msgs = ctx.recv_all();
+    if (ctx.rank() == 0) {
+      ASSERT_EQ(msgs.size(), 1u);
+      EXPECT_EQ(decode_reals(msgs[0]), (RealVec{1.5, -2.25}));
+    }
+  });
+}
+
+TEST(Machine, CountersAccumulate) {
+  Machine m(2);
+  m.step([](RankContext& ctx) {
+    ctx.charge_flops(10);
+    ctx.charge_mem(100);
+    if (ctx.rank() == 0) ctx.send_reals(1, 0, {1.0, 2.0, 3.0});
+  });
+  EXPECT_EQ(m.counters(0).flops, 10u);
+  EXPECT_EQ(m.counters(0).mem_bytes, 100u);
+  EXPECT_EQ(m.counters(0).messages_sent, 1u);
+  EXPECT_EQ(m.counters(0).bytes_sent, 24u);
+  EXPECT_EQ(m.counters(1).messages_sent, 0u);
+  const auto total = m.total_counters();
+  EXPECT_EQ(total.flops, 20u);
+  EXPECT_EQ(total.bytes_sent, 24u);
+}
+
+TEST(Machine, CommunicationCostsScaleWithBytes) {
+  Machine small(2), big(2);
+  small.step([](RankContext& ctx) {
+    if (ctx.rank() == 0) ctx.send_reals(1, 0, RealVec(10, 1.0));
+  });
+  big.step([](RankContext& ctx) {
+    if (ctx.rank() == 0) ctx.send_reals(1, 0, RealVec(100000, 1.0));
+  });
+  EXPECT_GT(big.modeled_time(), small.modeled_time());
+}
+
+TEST(Machine, MoreRanksCostMorePerBarrier) {
+  Machine m2(2), m64(64);
+  m2.step([](RankContext&) {});
+  m64.step([](RankContext&) {});
+  EXPECT_GT(m64.modeled_time(), m2.modeled_time());
+}
+
+TEST(Machine, AllreduceHelpers) {
+  Machine m(4);
+  const double sum = m.allreduce_sum([](int r) { return static_cast<double>(r); });
+  EXPECT_DOUBLE_EQ(sum, 6.0);
+  const double max = m.allreduce_max([](int r) { return static_cast<double>(r * r); });
+  EXPECT_DOUBLE_EQ(max, 9.0);
+  const long long count = m.allreduce_sum_ll([](int) { return 2LL; });
+  EXPECT_EQ(count, 8);
+  EXPECT_EQ(m.supersteps(), 3u);
+}
+
+TEST(Machine, ResetClearsState) {
+  Machine m(2);
+  m.step([](RankContext& ctx) { ctx.charge_flops(5); });
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.modeled_time(), 0.0);
+  EXPECT_EQ(m.counters(0).flops, 0u);
+  EXPECT_EQ(m.supersteps(), 0u);
+}
+
+TEST(Machine, WorkstationClusterHasSlowerNetwork) {
+  const auto t3d = MachineParams::cray_t3d();
+  const auto cluster = MachineParams::workstation_cluster();
+  EXPECT_GT(cluster.alpha, t3d.alpha);
+  EXPECT_GT(cluster.beta, t3d.beta);
+}
+
+TEST(Machine, RejectsBadRank) {
+  Machine m(2);
+  EXPECT_THROW(m.step([](RankContext& ctx) { ctx.send_reals(5, 0, {1.0}); }), Error);
+}
+
+TEST(Machine, DeterministicAcrossRuns) {
+  auto run = [] {
+    Machine m(8);
+    for (int s = 0; s < 10; ++s) {
+      m.step([s](RankContext& ctx) {
+        ctx.charge_flops(static_cast<std::uint64_t>((ctx.rank() * 7 + s) % 5) * 100);
+        ctx.send_reals((ctx.rank() + 1) % 8, s, RealVec(static_cast<std::size_t>(ctx.rank() + 1), 1.0));
+        (void)ctx.recv_all();
+      });
+    }
+    return m.modeled_time();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace ptilu::sim
+
+namespace ptilu::sim {
+namespace {
+
+TEST(Machine, CollectiveAdvancesAllClocks) {
+  Machine m(8);
+  const double before = m.modeled_time();
+  m.collective(1024);
+  EXPECT_GT(m.modeled_time(), before);
+  EXPECT_EQ(m.supersteps(), 1u);
+  // All ranks synchronized.
+  for (int r = 1; r < 8; ++r) EXPECT_DOUBLE_EQ(m.rank_time(r), m.rank_time(0));
+}
+
+TEST(Machine, CollectiveCostsGrowWithRanksAndBytes) {
+  Machine m2(2), m64(64);
+  m2.collective(1000);
+  m64.collective(1000);
+  EXPECT_GT(m64.modeled_time(), m2.modeled_time());
+  Machine small(4), big(4);
+  small.collective(10);
+  big.collective(1000000);
+  EXPECT_GT(big.modeled_time(), small.modeled_time());
+}
+
+TEST(Machine, ChargeTransferAccountsBothSides) {
+  Machine m(3);
+  m.charge_transfer(0, 2, 8000);
+  EXPECT_EQ(m.counters(0).messages_sent, 1u);
+  EXPECT_EQ(m.counters(0).bytes_sent, 8000u);
+  EXPECT_GT(m.rank_time(0), 0.0);
+  EXPECT_GT(m.rank_time(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.rank_time(1), 0.0);
+  // Sender pays latency on top of bandwidth; receiver only bandwidth.
+  EXPECT_GT(m.rank_time(0), m.rank_time(2));
+}
+
+TEST(Machine, ChargeTransferRejectsBadRanks) {
+  Machine m(2);
+  EXPECT_THROW(m.charge_transfer(0, 5, 10), Error);
+  EXPECT_THROW(m.charge_transfer(-1, 1, 10), Error);
+}
+
+}  // namespace
+}  // namespace ptilu::sim

@@ -1,0 +1,155 @@
+// Unit tests for the support module: checks, RNG, CLI, tables.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "ptilu/support/check.hpp"
+#include "ptilu/support/cli.hpp"
+#include "ptilu/support/rng.hpp"
+#include "ptilu/support/table.hpp"
+
+namespace ptilu {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    PTILU_CHECK(1 == 2, "custom detail " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom detail 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(PTILU_CHECK(2 + 2 == 4, "should not fire"));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, VertexKeyIsStateless) {
+  EXPECT_EQ(vertex_key(5, 10, 3), vertex_key(5, 10, 3));
+  EXPECT_NE(vertex_key(5, 10, 3), vertex_key(5, 10, 4));
+  EXPECT_NE(vertex_key(5, 10, 3), vertex_key(5, 11, 3));
+  EXPECT_NE(vertex_key(6, 10, 3), vertex_key(5, 10, 3));
+}
+
+TEST(Rng, VertexKeysLookUniform) {
+  // No collisions over a realistic vertex range.
+  std::set<std::uint64_t> seen;
+  for (idx v = 0; v < 10000; ++v) seen.insert(vertex_key(42, v, 0));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--n=240", "--tau=1e-4", "--verbose"};
+  Cli cli(4, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 240);
+  EXPECT_DOUBLE_EQ(cli.get_double("tau", 0.0), 1e-4);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_NO_THROW(cli.check_all_consumed());
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--n", "64"};
+  Cli cli(3, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 64);
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get_int("n", 99), 99);
+  EXPECT_EQ(cli.get_string("name", "x"), "x");
+  EXPECT_FALSE(cli.has("n"));
+}
+
+TEST(Cli, ParsesIntList) {
+  const char* argv[] = {"prog", "--procs=16,32,64,128"};
+  Cli cli(2, argv);
+  const auto procs = cli.get_int_list("procs", {});
+  ASSERT_EQ(procs.size(), 4u);
+  EXPECT_EQ(procs[0], 16);
+  EXPECT_EQ(procs[3], 128);
+}
+
+TEST(Cli, ParsesDoubleList) {
+  const char* argv[] = {"prog", "--tau=1e-2,1e-4,1e-6"};
+  Cli cli(2, argv);
+  const auto taus = cli.get_double_list("tau", {});
+  ASSERT_EQ(taus.size(), 3u);
+  EXPECT_DOUBLE_EQ(taus[1], 1e-4);
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  const char* argv[] = {"prog", "--oops=1"};
+  Cli cli(2, argv);
+  EXPECT_THROW(cli.check_all_consumed(), Error);
+}
+
+TEST(Cli, RejectsMalformedInt) {
+  const char* argv[] = {"prog", "--n=12x"};
+  Cli cli(2, argv);
+  EXPECT_THROW(cli.get_int("n", 0), Error);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 2);
+  t.row().cell("b").cell(10.25, 2);
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("10.25"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_sci(0.000123, 2), "1.23e-04");
+}
+
+}  // namespace
+}  // namespace ptilu
