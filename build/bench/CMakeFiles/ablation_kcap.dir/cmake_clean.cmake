@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kcap.dir/ablation_kcap.cpp.o"
+  "CMakeFiles/ablation_kcap.dir/ablation_kcap.cpp.o.d"
+  "ablation_kcap"
+  "ablation_kcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

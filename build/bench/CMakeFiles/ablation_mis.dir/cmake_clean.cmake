@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mis.dir/ablation_mis.cpp.o"
+  "CMakeFiles/ablation_mis.dir/ablation_mis.cpp.o.d"
+  "ablation_mis"
+  "ablation_mis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partition.dir/ablation_partition.cpp.o"
+  "CMakeFiles/ablation_partition.dir/ablation_partition.cpp.o.d"
+  "ablation_partition"
+  "ablation_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_factorization.dir/table1_factorization.cpp.o"
+  "CMakeFiles/table1_factorization.dir/table1_factorization.cpp.o.d"
+  "table1_factorization"
+  "table1_factorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_factorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

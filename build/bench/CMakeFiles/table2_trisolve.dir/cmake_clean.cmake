@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_trisolve.dir/table2_trisolve.cpp.o"
+  "CMakeFiles/table2_trisolve.dir/table2_trisolve.cpp.o.d"
+  "table2_trisolve"
+  "table2_trisolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_trisolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

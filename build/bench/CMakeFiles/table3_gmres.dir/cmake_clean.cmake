@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_gmres.dir/table3_gmres.cpp.o"
+  "CMakeFiles/table3_gmres.dir/table3_gmres.cpp.o.d"
+  "table3_gmres"
+  "table3_gmres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_gmres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_solver.dir/mm_solver.cpp.o"
+  "CMakeFiles/mm_solver.dir/mm_solver.cpp.o.d"
+  "mm_solver"
+  "mm_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_explore.dir/partition_explore.cpp.o"
+  "CMakeFiles/partition_explore.dir/partition_explore.cpp.o.d"
+  "partition_explore"
+  "partition_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

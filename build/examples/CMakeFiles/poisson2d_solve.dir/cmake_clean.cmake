@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson2d_solve.dir/poisson2d_solve.cpp.o"
+  "CMakeFiles/poisson2d_solve.dir/poisson2d_solve.cpp.o.d"
+  "poisson2d_solve"
+  "poisson2d_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson2d_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for poisson2d_solve.
+# This may be replaced when dependencies are built.

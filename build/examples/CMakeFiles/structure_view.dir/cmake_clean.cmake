@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structure_view.dir/structure_view.cpp.o"
+  "CMakeFiles/structure_view.dir/structure_view.cpp.o.d"
+  "structure_view"
+  "structure_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structure_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

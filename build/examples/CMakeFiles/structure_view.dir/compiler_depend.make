@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for structure_view.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for structure_view.
+# This may be replaced when dependencies are built.

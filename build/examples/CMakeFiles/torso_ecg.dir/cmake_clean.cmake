@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torso_ecg.dir/torso_ecg.cpp.o"
+  "CMakeFiles/torso_ecg.dir/torso_ecg.cpp.o.d"
+  "torso_ecg"
+  "torso_ecg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torso_ecg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

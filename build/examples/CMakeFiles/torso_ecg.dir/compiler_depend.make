@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for torso_ecg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for torso_ecg.
+# This may be replaced when dependencies are built.

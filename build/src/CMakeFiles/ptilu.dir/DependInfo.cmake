@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/distcsr.cpp" "src/CMakeFiles/ptilu.dir/dist/distcsr.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/dist/distcsr.cpp.o.d"
+  "/root/repo/src/dist/mis_dist.cpp" "src/CMakeFiles/ptilu.dir/dist/mis_dist.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/dist/mis_dist.cpp.o.d"
+  "/root/repo/src/graph/coloring.cpp" "src/CMakeFiles/ptilu.dir/graph/coloring.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/graph/coloring.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/ptilu.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/mis.cpp" "src/CMakeFiles/ptilu.dir/graph/mis.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/graph/mis.cpp.o.d"
+  "/root/repo/src/graph/rcm.cpp" "src/CMakeFiles/ptilu.dir/graph/rcm.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/graph/rcm.cpp.o.d"
+  "/root/repo/src/ilu/factors.cpp" "src/CMakeFiles/ptilu.dir/ilu/factors.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/ilu/factors.cpp.o.d"
+  "/root/repo/src/ilu/ilut.cpp" "src/CMakeFiles/ptilu.dir/ilu/ilut.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/ilu/ilut.cpp.o.d"
+  "/root/repo/src/ilu/trisolve.cpp" "src/CMakeFiles/ptilu.dir/ilu/trisolve.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/ilu/trisolve.cpp.o.d"
+  "/root/repo/src/krylov/gmres.cpp" "src/CMakeFiles/ptilu.dir/krylov/gmres.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/krylov/gmres.cpp.o.d"
+  "/root/repo/src/krylov/gmres_dist.cpp" "src/CMakeFiles/ptilu.dir/krylov/gmres_dist.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/krylov/gmres_dist.cpp.o.d"
+  "/root/repo/src/krylov/preconditioner.cpp" "src/CMakeFiles/ptilu.dir/krylov/preconditioner.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/krylov/preconditioner.cpp.o.d"
+  "/root/repo/src/part/bisect.cpp" "src/CMakeFiles/ptilu.dir/part/bisect.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/part/bisect.cpp.o.d"
+  "/root/repo/src/part/coarsen.cpp" "src/CMakeFiles/ptilu.dir/part/coarsen.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/part/coarsen.cpp.o.d"
+  "/root/repo/src/part/multilevel.cpp" "src/CMakeFiles/ptilu.dir/part/multilevel.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/part/multilevel.cpp.o.d"
+  "/root/repo/src/pilut/detail.cpp" "src/CMakeFiles/ptilu.dir/pilut/detail.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/pilut/detail.cpp.o.d"
+  "/root/repo/src/pilut/pilu0.cpp" "src/CMakeFiles/ptilu.dir/pilut/pilu0.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/pilut/pilu0.cpp.o.d"
+  "/root/repo/src/pilut/pilut.cpp" "src/CMakeFiles/ptilu.dir/pilut/pilut.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/pilut/pilut.cpp.o.d"
+  "/root/repo/src/pilut/pilut_nested.cpp" "src/CMakeFiles/ptilu.dir/pilut/pilut_nested.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/pilut/pilut_nested.cpp.o.d"
+  "/root/repo/src/pilut/trisolve_dist.cpp" "src/CMakeFiles/ptilu.dir/pilut/trisolve_dist.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/pilut/trisolve_dist.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/ptilu.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/CMakeFiles/ptilu.dir/sparse/csr.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/sparse/csr.cpp.o.d"
+  "/root/repo/src/sparse/dense.cpp" "src/CMakeFiles/ptilu.dir/sparse/dense.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/sparse/dense.cpp.o.d"
+  "/root/repo/src/sparse/mm_io.cpp" "src/CMakeFiles/ptilu.dir/sparse/mm_io.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/sparse/mm_io.cpp.o.d"
+  "/root/repo/src/sparse/scaling.cpp" "src/CMakeFiles/ptilu.dir/sparse/scaling.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/sparse/scaling.cpp.o.d"
+  "/root/repo/src/sparse/spmv.cpp" "src/CMakeFiles/ptilu.dir/sparse/spmv.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/sparse/spmv.cpp.o.d"
+  "/root/repo/src/sparse/vector_ops.cpp" "src/CMakeFiles/ptilu.dir/sparse/vector_ops.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/sparse/vector_ops.cpp.o.d"
+  "/root/repo/src/support/check.cpp" "src/CMakeFiles/ptilu.dir/support/check.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/support/check.cpp.o.d"
+  "/root/repo/src/support/cli.cpp" "src/CMakeFiles/ptilu.dir/support/cli.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/support/cli.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/ptilu.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/support/table.cpp.o.d"
+  "/root/repo/src/workloads/grids.cpp" "src/CMakeFiles/ptilu.dir/workloads/grids.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/workloads/grids.cpp.o.d"
+  "/root/repo/src/workloads/rhs.cpp" "src/CMakeFiles/ptilu.dir/workloads/rhs.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/workloads/rhs.cpp.o.d"
+  "/root/repo/src/workloads/torso.cpp" "src/CMakeFiles/ptilu.dir/workloads/torso.cpp.o" "gcc" "src/CMakeFiles/ptilu.dir/workloads/torso.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dist.cpp" "tests/CMakeFiles/ptilu_tests.dir/test_dist.cpp.o" "gcc" "tests/CMakeFiles/ptilu_tests.dir/test_dist.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/ptilu_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/ptilu_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/ptilu_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/ptilu_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_ilu.cpp" "tests/CMakeFiles/ptilu_tests.dir/test_ilu.cpp.o" "gcc" "tests/CMakeFiles/ptilu_tests.dir/test_ilu.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/ptilu_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/ptilu_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_krylov.cpp" "tests/CMakeFiles/ptilu_tests.dir/test_krylov.cpp.o" "gcc" "tests/CMakeFiles/ptilu_tests.dir/test_krylov.cpp.o.d"
+  "/root/repo/tests/test_part.cpp" "tests/CMakeFiles/ptilu_tests.dir/test_part.cpp.o" "gcc" "tests/CMakeFiles/ptilu_tests.dir/test_part.cpp.o.d"
+  "/root/repo/tests/test_pilu0.cpp" "tests/CMakeFiles/ptilu_tests.dir/test_pilu0.cpp.o" "gcc" "tests/CMakeFiles/ptilu_tests.dir/test_pilu0.cpp.o.d"
+  "/root/repo/tests/test_pilut.cpp" "tests/CMakeFiles/ptilu_tests.dir/test_pilut.cpp.o" "gcc" "tests/CMakeFiles/ptilu_tests.dir/test_pilut.cpp.o.d"
+  "/root/repo/tests/test_pilut_nested.cpp" "tests/CMakeFiles/ptilu_tests.dir/test_pilut_nested.cpp.o" "gcc" "tests/CMakeFiles/ptilu_tests.dir/test_pilut_nested.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/ptilu_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/ptilu_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/ptilu_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/ptilu_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_sparse.cpp" "tests/CMakeFiles/ptilu_tests.dir/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/ptilu_tests.dir/test_sparse.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/ptilu_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/ptilu_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/ptilu_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/ptilu_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ptilu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
