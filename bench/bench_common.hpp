@@ -4,7 +4,10 @@
 // and small formatting helpers.
 #pragma once
 
+#include <cctype>
+#include <cmath>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +15,8 @@
 #include "ptilu/graph/graph.hpp"
 #include "ptilu/part/partition.hpp"
 #include "ptilu/pilut/pilut.hpp"
+#include "ptilu/sim/machine.hpp"
+#include "ptilu/sim/trace.hpp"
 #include "ptilu/sparse/csr.hpp"
 #include "ptilu/support/cli.hpp"
 #include "ptilu/support/table.hpp"
@@ -99,5 +104,69 @@ inline void print_header(const std::string& title, const TestMatrix& matrix) {
   std::cout << "\n=== " << title << " — " << matrix.name << " ("
             << workloads::describe(stats) << ") ===\n";
 }
+
+/// Shared `--trace` / `--trace-dir <dir>` handling for the table harnesses.
+/// With `--trace`, each harness runs one extra *traced* pass over a
+/// representative configuration and prints the per-phase modeled-time
+/// breakdown (rollup only — no span storage). With `--trace-dir`, the
+/// traced pass additionally records spans and writes a Chrome trace_event
+/// JSON per run into the directory (which must exist). The measurement
+/// sweeps themselves always run untraced, so reported totals are identical
+/// with and without these flags.
+class TraceReporter {
+ public:
+  TraceReporter(const Cli& cli, std::string prefix)
+      : prefix_(std::move(prefix)), dir_(cli.get_string("trace-dir", "")) {
+    enabled_ = cli.get_bool("trace", false) || !dir_.empty();
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// Start tracing `machine` (rollups always; spans only when exporting).
+  void attach(sim::Machine& machine) {
+    trace_ = std::make_unique<sim::Trace>(
+        sim::TraceOptions{.record_spans = !dir_.empty()});
+    machine.attach_trace(trace_.get());
+  }
+
+  /// Print the phase table, check it sums to the machine's modeled time,
+  /// optionally export the Chrome JSON, then detach and drop the trace.
+  void report(sim::Machine& machine, const std::string& label) {
+    machine.attach_trace(nullptr);
+    if (trace_ == nullptr) return;
+    std::cout << "\nPer-phase breakdown — " << label << ":\n";
+    trace_->write_phase_table(std::cout);
+    const double attributed = trace_->attributed_time();
+    const double modeled = machine.modeled_time();
+    const double rel =
+        modeled > 0.0 ? std::abs(attributed - modeled) / modeled : 0.0;
+    std::cout << "phase sum " << format_sci(attributed, 6) << " s vs modeled "
+              << format_sci(modeled, 6) << " s — "
+              << (rel <= 0.01 ? "OK" : "MISMATCH") << " (rel err "
+              << format_sci(rel, 2) << ")\n";
+    if (!dir_.empty()) {
+      const std::string path = dir_ + "/" + prefix_ + "_" + slug(label) + ".trace.json";
+      trace_->write_chrome_trace_file(path);
+      std::cout << "chrome trace: " << path << "\n";
+    }
+    trace_.reset();
+  }
+
+ private:
+  static std::string slug(const std::string& label) {
+    std::string out;
+    for (const char c : label) {
+      out += std::isalnum(static_cast<unsigned char>(c)) != 0
+                 ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+                 : '_';
+    }
+    return out;
+  }
+
+  std::string prefix_;
+  std::string dir_;
+  bool enabled_ = false;
+  std::unique_ptr<sim::Trace> trace_;
+};
 
 }  // namespace ptilu::bench

@@ -14,7 +14,8 @@ namespace ptilu::bench {
 namespace {
 
 void run_matrix(const TestMatrix& matrix, const std::vector<int>& procs,
-                const std::vector<FactorConfig>& configs, idx star_k) {
+                const std::vector<FactorConfig>& configs, idx star_k,
+                TraceReporter& tracer) {
   print_header("Table 2: forward+backward substitution time (modeled seconds)", matrix);
 
   std::map<int, DistCsr> dists;
@@ -101,6 +102,23 @@ void run_matrix(const TestMatrix& matrix, const std::vector<int>& procs,
     }
     mflops.print(std::cout);
   }
+
+  // Optional traced rerun of one substitution: factor untraced, reset the
+  // machine, then trace just the forward+backward solve.
+  if (tracer.enabled()) {
+    const FactorConfig config = configs[configs.size() / 2];
+    const int p = procs.back();
+    sim::Machine machine(p);
+    const PilutResult result = pilut_factor(
+        machine, dists.at(p),
+        {.m = config.m, .tau = config.tau, .cap_k = 0, .pivot_rel = 1e-12});
+    const DistTriangularSolver solver(result.factors, result.schedule);
+    machine.reset();
+    tracer.attach(machine);
+    solver.apply(machine, b, x);
+    tracer.report(machine, matrix.name + " solve " + config_label(config, 0) + " p=" +
+                               std::to_string(p));
+  }
 }
 
 }  // namespace
@@ -114,13 +132,14 @@ int main(int argc, char** argv) {
   const auto procs = cli.get_int_list("procs", {16, 32, 64, 128});
   const idx star_k = static_cast<idx>(cli.get_int("k", 2));
   const bool with_g0 = cli.get_bool("with-g0", false);
+  TraceReporter tracer(cli, "table2");
   cli.check_all_consumed();
 
   const auto configs = paper_configs();
   WallTimer timer;
   // The paper's Table 2 reports TORSO only; --with-g0 adds the G0 series.
-  run_matrix(build_torso(scale), procs, configs, star_k);
-  if (with_g0) run_matrix(build_g0(scale), procs, configs, star_k);
+  run_matrix(build_torso(scale), procs, configs, star_k, tracer);
+  if (with_g0) run_matrix(build_g0(scale), procs, configs, star_k, tracer);
   std::cout << "\n[table2 harness wall time: " << format_fixed(timer.seconds(), 1)
             << "s]\n";
   return 0;

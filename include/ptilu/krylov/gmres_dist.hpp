@@ -6,6 +6,13 @@
 // ptilu::gmres (tested), so iteration counts match; the machine clock
 // additionally yields an executed (not analytically modeled) parallel
 // solve time for Table 3.
+//
+// When a sim::Trace is attached to the machine, the solve is tagged with
+// nested phases under "gmres": "residual" (SpMV + preconditioner for the
+// restart residual), "precond" (M^{-1} A v_j, including the distributed
+// triangular solves, which self-tag "trisolve/forward" and
+// "trisolve/backward"), "orthog" (modified Gram-Schmidt dots/axpys), and
+// "update" (the x correction). SpMVs self-tag "spmv". See docs/TRACING.md.
 #pragma once
 
 #include "ptilu/dist/distcsr.hpp"

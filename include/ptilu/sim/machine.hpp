@@ -10,8 +10,18 @@
 // therefore execute exactly the computation and communication pattern they
 // would on a real machine — who computes what, what crosses the network,
 // how many synchronization points occur — and the modeled clock stands in
-// for wall-clock. See DESIGN.md §1 and §4 for the substitution rationale
-// and the T3D calibration.
+// for wall-clock. See DESIGN.md §1 and §4 for the substitution rationale;
+// the T3D calibration itself is documented on MachineParams below, which is
+// its single authoritative home.
+//
+// Observability: attach a sim::Trace (attach_trace) to record every modeled
+// clock advance as a per-rank span (compute/send/recv/barrier/allreduce)
+// tagged with the active algorithm phase, roll the spans up into a
+// per-phase time/flop/byte ledger, and export a Chrome trace_event JSON
+// viewable in Perfetto. The hooks are a null-pointer check when no trace is
+// attached, so untraced runs are bit-identical to a build without the
+// tracing layer. See DESIGN.md §7 ("Simulator observability") and
+// docs/TRACING.md.
 #pragma once
 
 #include <cstdint>
@@ -24,14 +34,35 @@
 
 namespace ptilu::sim {
 
-/// Cost-model parameters, all in seconds.
-struct MachineParams {
-  double flop = 40e-9;    ///< time per floating-point operation (~25 Mflop/s sustained)
-  double mem = 5e-9;      ///< time per byte copied within local memory (~200 MB/s)
-  double alpha = 2e-6;    ///< per-message latency
-  double beta = 6.7e-9;   ///< per-byte network cost (~150 MB/s links)
+class Trace;
 
-  /// Calibration approximating one Cray T3D node (150 MHz Alpha EV4).
+/// Cost-model parameters, all in seconds. The defaults approximate one node
+/// of the paper's 128-processor Cray T3D (150 MHz DEC Alpha EV4, 3-D torus
+/// interconnect with shmem-style puts); DESIGN.md §4 points here. Per-field
+/// meaning and calibration:
+///
+/// - `flop`: modeled time for one floating-point operation inside the
+///   sparse kernels. The EV4 peaked at 150 Mflop/s, but sparse
+///   indirect-addressed kernels of the era sustained ~25 Mflop/s,
+///   hence 40 ns.
+/// - `mem`: modeled time per byte of local memory traffic that is charged
+///   explicitly (reduced-matrix row rebuilds, permutation scatters). The
+///   T3D's sustained local copy bandwidth on such access patterns was
+///   ~200 MB/s, hence 5 ns/byte. Ordinary operand access inside compute
+///   kernels is folded into `flop` and is not charged separately.
+/// - `alpha`: per-message latency. T3D shmem put end-to-end latency was
+///   ~1–3 µs; we use 2 µs. Also the per-hop cost of the log2(p) barrier
+///   and collective trees.
+/// - `beta`: per-byte network cost. T3D links moved ~150 MB/s sustained
+///   per direction, hence 6.7 ns/byte. Senders pay alpha + bytes*beta at
+///   injection; receivers pay bytes*beta when draining delivery queues.
+struct MachineParams {
+  double flop = 40e-9;   ///< s per floating-point operation (~25 Mflop/s sustained)
+  double mem = 5e-9;     ///< s per byte of charged local memory traffic (~200 MB/s)
+  double alpha = 2e-6;   ///< per-message latency (s)
+  double beta = 6.7e-9;  ///< per-byte network cost (~150 MB/s links)
+
+  /// Calibration approximating one Cray T3D node (see field docs above).
   static MachineParams cray_t3d() { return MachineParams{}; }
 
   /// A "workstation cluster" profile the paper's conclusions mention:
@@ -133,8 +164,18 @@ class Machine {
   /// Number of supersteps executed (each one is a synchronization point).
   std::uint64_t supersteps() const { return supersteps_; }
 
+  /// Attach a span/phase trace (nullptr detaches). The machine does not own
+  /// the trace; it must outlive the attachment. While attached, every clock
+  /// advance is recorded as a span tagged with trace->current_phase().
+  void attach_trace(Trace* trace);
+  /// The attached trace, or nullptr. Instrumented algorithm code passes
+  /// this to sim::ScopedPhase, which is a no-op on nullptr.
+  Trace* trace() const { return trace_; }
+
   /// Reset clocks/counters (keeps nranks and params) so one Machine can
-  /// time several phases independently.
+  /// time several phases independently. An attached trace keeps its data:
+  /// spans recorded after the reset land in a new epoch appended after
+  /// everything already recorded.
   void reset();
 
  private:
@@ -150,6 +191,8 @@ class Machine {
   std::vector<std::vector<Message>> inbox_;   // delivered this superstep
   std::vector<std::vector<Message>> outbox_;  // posted during this superstep
   std::uint64_t supersteps_ = 0;
+  Trace* trace_ = nullptr;
+  bool in_allreduce_ = false;  // tags the enclosing step's barrier spans
 };
 
 }  // namespace ptilu::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ptilu/sim/trace.hpp"
 #include "ptilu/support/check.hpp"
 #include "ptilu/support/rng.hpp"
 
@@ -50,11 +51,18 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
   DistMisScratch& sc = scratch != nullptr ? *scratch : local_scratch;
   sc.ensure(nranks, graph.n_global);
 
+  // Self-tagging: callers need not (and should not) wrap mis_dist in a
+  // phase of their own; the tag nests under whatever phase is active.
+  sim::Trace* const tr = machine.trace();
+  sim::ScopedPhase mis_phase(tr, "mis");
+
   // Setup phase (the paper's "communication setup"): initialize owned and
   // mirror statuses. Peer ranks are discovered lazily when a vertex's
   // status changes — each vertex changes status at most once per call, so
   // the total notification work stays O(edges) without per-vertex peer
   // lists.
+  {
+  sim::ScopedPhase span(tr, "setup");
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
     auto& status = sc.status[r];
@@ -74,6 +82,7 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
     }
     ctx.charge_mem(scanned * sizeof(idx));
   });
+  }
 
   // Per-rank outgoing update batches, dense by peer (reused each step).
   std::vector<std::vector<IdxVec>> in_batch(nranks, std::vector<IdxVec>(nranks));
@@ -109,6 +118,8 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
   };
 
   long long candidates_left = 1;
+  {
+  sim::ScopedPhase rounds_span(tr, "rounds");
   for (int round = 0; round < opts.rounds && candidates_left > 0; ++round) {
     candidates_left = 0;
     // One superstep per round: apply deferred mirror updates, dominate owned
@@ -177,9 +188,13 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
       flush_batches(ctx, r);
     });
   }
+  }
 
   // Drain pending updates so the machine's queues are clean for the caller.
-  machine.step([&](sim::RankContext& ctx) { (void)ctx.recv_all(); });
+  {
+    sim::ScopedPhase span(tr, "drain");
+    machine.step([&](sim::RankContext& ctx) { (void)ctx.recv_all(); });
+  }
 
   IdxVec result;
   for (int r = 0; r < nranks; ++r) {

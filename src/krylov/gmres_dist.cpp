@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "ptilu/sim/trace.hpp"
 #include "ptilu/support/check.hpp"
 
 namespace ptilu {
@@ -66,6 +67,8 @@ GmresResult gmres_dist(sim::Machine& machine, const DistCsr& dist, const Halo& h
   const IdxVec& newnum = factorization.schedule.newnum;
   const DistBlas blas(machine, dist);
   const int krylov = opts.restart;
+  sim::Trace* const tr = machine.trace();
+  sim::ScopedPhase solve_phase(tr, "gmres");
 
   GmresResult result;
   RealVec ax(n), residual_vec(n), r(n);
@@ -75,6 +78,7 @@ GmresResult gmres_dist(sim::Machine& machine, const DistCsr& dist, const Halo& h
   // parallel triangular solves through the factorization's ordering (the
   // scatter into/out of the new numbering is rank-local copy work).
   const auto compute_residual = [&]() {
+    sim::ScopedPhase span(tr, "residual");
     dist_spmv(machine, dist, halo, RealVec(x.begin(), x.end()), ax);
     machine.step([&](sim::RankContext& ctx) {
       const int rank = ctx.rank();
@@ -123,27 +127,34 @@ GmresResult gmres_dist(sim::Machine& machine, const DistCsr& dist, const Halo& h
       // w = M^{-1} A v_j, all on the machine.
       dist_spmv(machine, dist, halo, v[j], ax);
       ++result.matvecs;
-      machine.step([&](sim::RankContext& ctx) {
-        for (const idx i : dist.owned_rows[ctx.rank()]) permuted[newnum[i]] = ax[i];
-        ctx.charge_mem(dist.owned_rows[ctx.rank()].size() * sizeof(real));
-      });
-      solver.apply(machine, permuted, solved);
       RealVec& w = v[j + 1];
-      machine.step([&](sim::RankContext& ctx) {
-        for (const idx i : dist.owned_rows[ctx.rank()]) w[i] = solved[newnum[i]];
-        ctx.charge_mem(dist.owned_rows[ctx.rank()].size() * sizeof(real));
-      });
+      {
+        sim::ScopedPhase span(tr, "precond");
+        machine.step([&](sim::RankContext& ctx) {
+          for (const idx i : dist.owned_rows[ctx.rank()]) permuted[newnum[i]] = ax[i];
+          ctx.charge_mem(dist.owned_rows[ctx.rank()].size() * sizeof(real));
+        });
+        solver.apply(machine, permuted, solved);
+        machine.step([&](sim::RankContext& ctx) {
+          for (const idx i : dist.owned_rows[ctx.rank()]) w[i] = solved[newnum[i]];
+          ctx.charge_mem(dist.owned_rows[ctx.rank()].size() * sizeof(real));
+        });
+      }
 
       // Modified Gram-Schmidt: each projection is one allreduce (the dot)
       // plus rank-local update work.
-      for (int i = 0; i <= j; ++i) {
-        const real hij = blas.dot(w, v[i]);
-        h[i][j] = hij;
-        blas.axpy(-hij, v[i], w);
+      real hnext = 0.0;
+      {
+        sim::ScopedPhase span(tr, "orthog");
+        for (int i = 0; i <= j; ++i) {
+          const real hij = blas.dot(w, v[i]);
+          h[i][j] = hij;
+          blas.axpy(-hij, v[i], w);
+        }
+        hnext = blas.norm2(w);
+        h[j + 1][j] = hnext;
+        if (hnext > 0.0) blas.scale_into(1.0 / hnext, w, w);
       }
-      const real hnext = blas.norm2(w);
-      h[j + 1][j] = hnext;
-      if (hnext > 0.0) blas.scale_into(1.0 / hnext, w, w);
 
       // Givens rotations are O(restart) scalar work, replicated on every
       // rank in a real implementation — negligible, uncharged.
@@ -180,15 +191,18 @@ GmresResult gmres_dist(sim::Machine& machine, const DistCsr& dist, const Halo& h
       y[i] = acc / h[i][i];
     }
     // x update: one batched rank-local pass over the basis.
-    machine.step([&](sim::RankContext& ctx) {
-      const int rank = ctx.rank();
-      for (const idx i : dist.owned_rows[rank]) {
-        real acc = x[i];
-        for (int k = 0; k < steps; ++k) acc += y[k] * v[k][i];
-        x[i] = acc;
-      }
-      ctx.charge_flops(2 * dist.owned_rows[rank].size() * static_cast<std::uint64_t>(steps));
-    });
+    {
+      sim::ScopedPhase span(tr, "update");
+      machine.step([&](sim::RankContext& ctx) {
+        const int rank = ctx.rank();
+        for (const idx i : dist.owned_rows[rank]) {
+          real acc = x[i];
+          for (int k = 0; k < steps; ++k) acc += y[k] * v[k][i];
+          x[i] = acc;
+        }
+        ctx.charge_flops(2 * dist.owned_rows[rank].size() * static_cast<std::uint64_t>(steps));
+      });
+    }
     ++result.restarts;
 
     if (result.final_residual <= target) {

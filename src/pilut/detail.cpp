@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ptilu/sim/trace.hpp"
+
 namespace ptilu::pilut_detail {
 
 void assemble_factors(const std::vector<SparseRow>& lrows,
@@ -51,6 +53,7 @@ void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
   sched.n_interior = next_num;
   stats.interface_nodes = a.n_rows - next_num;
 
+  sim::ScopedPhase phase(machine.trace(), "factor/interior");
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
     std::uint64_t flops = 0;
@@ -101,6 +104,7 @@ void run_initial_reduction(sim::Machine& machine, const DistCsr& dist,
                            idx tail_cap, FactorState& state, WorkingRow& w,
                            PilutStats& stats) {
   const Csr& a = dist.a;
+  sim::ScopedPhase phase(machine.trace(), "factor/interface/form_reduced");
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
     std::uint64_t flops = 0, copied = 0;

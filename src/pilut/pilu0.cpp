@@ -6,6 +6,7 @@
 #include "detail.hpp"
 #include "ptilu/dist/mis_dist.hpp"
 #include "ptilu/ilu/working_row.hpp"
+#include "ptilu/sim/trace.hpp"
 #include "ptilu/support/check.hpp"
 
 namespace ptilu {
@@ -104,7 +105,11 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
     w.clear();
   };
 
+  sim::Trace* const tr = machine.trace();
+
   // ===================== Phase 1: interior factorization ==================
+  {
+  sim::ScopedPhase span(tr, "factor/interior");
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
     std::uint64_t flops = 0;
@@ -122,6 +127,7 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
     }
     ctx.charge_flops(flops);
   });
+  }
   stats.time_interior = machine.modeled_time();
 
   // ======== Color the interface graph with successive distributed MIS =====
@@ -143,6 +149,8 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
   const Csr sym = symmetrize_pattern(a);
   std::vector<std::vector<IdxVec>> adj(nranks);
   IdxVec pos_dense(n, -1);
+  {
+  sim::ScopedPhase span(tr, "factor/color/setup");
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
     adj[r].resize(active[r].size());
@@ -158,9 +166,11 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
     }
     ctx.charge_mem(scanned * sizeof(idx));
   });
+  }
 
   std::vector<IdxVec> classes;  // color classes (global ids)
   {
+    sim::ScopedPhase color_span(tr, "factor/color");
     DistMisScratch scratch;
     std::vector<IdxVec> still_active = active;
     std::vector<std::vector<IdxVec>> still_adj = adj;
@@ -200,6 +210,8 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
   // Number the classes rank-major and record the level boundaries.
   sched.level_start.push_back(sched.n_interior);
   std::vector<std::uint8_t> class_of(n, 0);
+  {
+  sim::ScopedPhase span(tr, "factor/number");
   for (const auto& cls : classes) {
     std::vector<IdxVec> by_rank(nranks);
     for (const idx v : cls) by_rank[dist.owner[v]].push_back(v);
@@ -210,11 +222,13 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
     machine.collective(static_cast<std::uint64_t>(cls.size()) * sizeof(idx) / nranks +
                        sizeof(idx));
   }
+  }
   PTILU_CHECK(next_num == n, "coloring did not cover all interface rows");
   stats.levels = static_cast<int>(classes.size());
 
   // ================== Factor the interface rows class by class ============
   std::vector<std::uint8_t> factored_interface(n, 0);
+  sim::ScopedPhase interface_phase(tr, "factor/interface");
   for (const auto& cls : classes) {
     std::vector<std::uint8_t> in_class(n, 0);
     for (const idx v : cls) in_class[v] = 1;
@@ -223,6 +237,8 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
     // the class references factored interface columns (pattern-static, so
     // requests are known a priori).
     std::vector<std::unordered_map<idx, SparseRow>> remote_urows(nranks);
+    {
+    sim::ScopedPhase span(tr, "exchange");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
       std::vector<IdxVec> requests(nranks);
@@ -259,6 +275,9 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
         ctx.send_reals(msg.from, kTagUVals, vals_payload);
       }
     });
+    }
+    {
+    sim::ScopedPhase span(tr, "factor");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
       IdxVec cols_payload;
@@ -311,6 +330,7 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
       }
       ctx.charge_flops(flops);
     });
+    }
     for (const idx v : cls) factored_interface[v] = 1;
   }
 

@@ -9,6 +9,7 @@
 #include "detail.hpp"
 #include "ptilu/dist/mis_dist.hpp"
 #include "ptilu/ilu/working_row.hpp"
+#include "ptilu/sim/trace.hpp"
 #include "ptilu/support/check.hpp"
 
 namespace ptilu {
@@ -80,12 +81,20 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
   }
 
   sched.level_start.push_back(sched.n_interior);
+  // Phase tags cover the paper's breakdown of interface work: communication
+  // setup, independent-set discovery (tagged inside mis_dist), numbering,
+  // factoring the set, U-row exchange, and reduced-matrix formation.
+  sim::Trace* const tr = machine.trace();
+  sim::ScopedPhase interface_phase(tr, "factor/interface");
   while (remaining > 0) {
     // --- Build the symmetrized distributed graph of the reduced matrix.
     // Tail columns are exactly the unfactored interface vertices, so the
     // directed adjacency of vertex v is its tail pattern; reverse edges to
     // remote owners travel in one superstep (the "communication setup").
     std::vector<std::vector<IdxVec>> adj(nranks);
+    long long edges = 0;
+    {
+    sim::ScopedPhase span(tr, "setup");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
       adj[r].resize(active[r].size());
@@ -114,7 +123,6 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
         if (!reverse_out[peer].empty()) ctx.send_indices(peer, 0, reverse_out[peer]);
       }
     });
-    long long edges = 0;
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
       for (const sim::Message& msg : ctx.recv_all()) {
@@ -131,6 +139,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
       }
       edges += local_edges;  // accumulated across ranks: acts as allreduce input
     });
+    }
 
     // --- Choose the independent set I_l.
     IdxVec iset;
@@ -161,11 +170,16 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
         if (in_set[v]) sched.newnum[v] = next_num++;
       }
     }
-    machine.collective(static_cast<std::uint64_t>(iset.size()) * sizeof(idx) / nranks +
-                       sizeof(idx));
+    {
+      sim::ScopedPhase span(tr, "number");
+      machine.collective(static_cast<std::uint64_t>(iset.size()) * sizeof(idx) / nranks +
+                         sizeof(idx));
+    }
 
     // --- Factor the rows of I_l (only U rows are created; the paper's
     // observation that independence makes this communication-free).
+    {
+    sim::ScopedPhase span(tr, "factor");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
       std::uint64_t flops = 0;
@@ -194,11 +208,14 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
       }
       ctx.charge_flops(flops);
     });
+    }
 
     // --- Exchange the U rows that remote eliminations will need. Each rank
     // scans its remaining rows' tails for set members owned elsewhere,
     // requests those rows, and owners reply within the same superstep pair.
     std::vector<std::unordered_map<idx, SparseRow>> remote_urows(nranks);
+    {
+    sim::ScopedPhase span(tr, "exchange");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
       std::vector<IdxVec> requests(nranks);
@@ -232,9 +249,12 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
         ctx.send_reals(msg.from, kTagUVals, vals_payload);
       }
     });
+    }
 
     // --- Receive U rows and eliminate I_l columns from the remaining rows
     // (Algorithm 4.2), forming the next reduced matrix.
+    {
+    sim::ScopedPhase span(tr, "reduce");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
       // Reassemble received rows.
@@ -329,6 +349,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
       ctx.charge_flops(flops);
       ctx.charge_mem(copied);
     });
+    }
 
     // --- Retire the factored rows and reset the dense scratch stamps.
     for (int r = 0; r < nranks; ++r) {

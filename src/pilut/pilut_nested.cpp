@@ -5,6 +5,7 @@
 #include "detail.hpp"
 #include "ptilu/graph/graph.hpp"
 #include "ptilu/part/partition.hpp"
+#include "ptilu/sim/trace.hpp"
 #include "ptilu/support/check.hpp"
 
 namespace ptilu {
@@ -162,11 +163,14 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
   };
 
   int depth = 0;
+  sim::Trace* const tr = machine.trace();
+  sim::ScopedPhase nested_phase(tr, "factor/nested");
   while (total_active > 0) {
     const bool sequential_tail = total_active <= nested.sequential_cutoff ||
                                  depth >= nested.max_depth || nranks == 1;
 
     if (sequential_tail) {
+      sim::ScopedPhase span(tr, "sequential");
       // Gather everything onto rank 0 and factor the block sequentially.
       for (int r = 1; r < nranks; ++r) {
         for (const idx v : active[r]) {
@@ -199,21 +203,24 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
     }
     for (std::size_t c = 0; c < verts.size(); ++c) compact_of[verts[c]] = static_cast<idx>(c);
     std::vector<std::pair<idx, idx>> edges;
-    machine.step([&](sim::RankContext& ctx) {
-      const int r = ctx.rank();
-      std::uint64_t scanned = 0;
-      for (const idx v : active[r]) {
-        for (const idx c : state.tails[v].cols) {
-          if (c == v) continue;
-          ++scanned;
-          edges.emplace_back(compact_of[v], compact_of[c]);
+    {
+      sim::ScopedPhase span(tr, "graph");
+      machine.step([&](sim::RankContext& ctx) {
+        const int r = ctx.rank();
+        std::uint64_t scanned = 0;
+        for (const idx v : active[r]) {
+          for (const idx c : state.tails[v].cols) {
+            if (c == v) continue;
+            ++scanned;
+            edges.emplace_back(compact_of[v], compact_of[c]);
+          }
         }
-      }
-      ctx.charge_mem(scanned * sizeof(idx));
-    });
+        ctx.charge_mem(scanned * sizeof(idx));
+      });
+      machine.collective(static_cast<std::uint64_t>(verts.size()) * sizeof(idx) / nranks +
+                         sizeof(idx));
+    }
     const Graph reduced_graph = graph_from_edges(static_cast<idx>(verts.size()), edges);
-    machine.collective(static_cast<std::uint64_t>(verts.size()) * sizeof(idx) / nranks +
-                       sizeof(idx));
     const Partition part = partition_kway(reduced_graph, nranks,
                                           {.seed = opts.seed + depth + 1});
 
@@ -242,15 +249,18 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
 
     // --- Migrate every active row to its sub-domain's host rank.
     std::vector<IdxVec> new_active(nranks);
-    for (idx c = 0; c < reduced_graph.n; ++c) {
-      const idx v = verts[c];
-      const int new_host = part.part[c];
-      if (host[v] != new_host) {
-        machine.charge_transfer(host[v], new_host,
-                                row_bytes(state.tails[v], state.lrows[v]));
-        host[v] = static_cast<idx>(new_host);
+    {
+      sim::ScopedPhase span(tr, "migrate");
+      for (idx c = 0; c < reduced_graph.n; ++c) {
+        const idx v = verts[c];
+        const int new_host = part.part[c];
+        if (host[v] != new_host) {
+          machine.charge_transfer(host[v], new_host,
+                                  row_bytes(state.tails[v], state.lrows[v]));
+          host[v] = static_cast<idx>(new_host);
+        }
+        new_active[new_host].push_back(v);
       }
-      new_active[new_host].push_back(v);
     }
     for (int r = 0; r < nranks; ++r) {
       std::sort(new_active[r].begin(), new_active[r].end());
@@ -263,9 +273,15 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
         if (stage_interior[v]) sched.newnum[v] = next_num++;
       }
     }
-    machine.collective(static_cast<std::uint64_t>(stage_count) * sizeof(idx) / nranks +
-                       sizeof(idx));
-    run_stage();
+    {
+      sim::ScopedPhase span(tr, "number");
+      machine.collective(static_cast<std::uint64_t>(stage_count) * sizeof(idx) / nranks +
+                         sizeof(idx));
+    }
+    {
+      sim::ScopedPhase span(tr, "stage");
+      run_stage();
+    }
 
     // --- Retire the factored rows.
     for (int r = 0; r < nranks; ++r) {

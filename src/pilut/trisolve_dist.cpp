@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "ptilu/sim/trace.hpp"
 #include "ptilu/support/check.hpp"
 
 namespace ptilu {
@@ -104,10 +105,14 @@ void DistTriangularSolver::forward(sim::Machine& machine, const RealVec& b,
   PTILU_CHECK(b.size() == static_cast<std::size_t>(l.n_rows) && y.size() == b.size(),
               "forward size mismatch");
   std::vector<std::unordered_map<idx, real>> ghost(sched.nranks);
+  sim::Trace* const tr = machine.trace();
+  sim::ScopedPhase solve_phase(tr, "trisolve/forward");
 
   // Phase 1: interior blocks — local work (interior rows only reference
   // their own rank's interior columns), then ship any interior values that
   // migrated interface rows on other ranks will need.
+  {
+  sim::ScopedPhase span(tr, "interior");
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
     const auto [begin, end] = sched.interior_range[r];
@@ -125,8 +130,10 @@ void DistTriangularSolver::forward(sim::Machine& machine, const RealVec& b,
     ctx.charge_flops(flops);
     ship_values(ctx, computed, y, consumers_fwd_);
   });
+  }
 
   // Phase 2: one superstep per independent-set level.
+  sim::ScopedPhase levels_span(tr, "levels");
   for (int level = 0; level < levels(); ++level) {
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
@@ -159,8 +166,12 @@ void DistTriangularSolver::backward(sim::Machine& machine, const RealVec& yin,
   PTILU_CHECK(yin.size() == static_cast<std::size_t>(u.n_rows) && x.size() == yin.size(),
               "backward size mismatch");
   std::vector<std::unordered_map<idx, real>> ghost(sched.nranks);
+  sim::Trace* const tr = machine.trace();
+  sim::ScopedPhase solve_phase(tr, "trisolve/backward");
 
   // Phase 1: interface levels in reverse order.
+  {
+  sim::ScopedPhase span(tr, "levels");
   for (int level = levels() - 1; level >= 0; --level) {
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
@@ -186,10 +197,13 @@ void DistTriangularSolver::backward(sim::Machine& machine, const RealVec& yin,
       ship_values(ctx, rows, x, consumers_bwd_);
     });
   }
+  }
 
   // Phase 2: interior blocks in reverse. Interior U rows reference their
   // own interior block plus interface columns — the latter may live on
   // another rank when rows migrated (nested variant), so read via ghosts.
+  {
+  sim::ScopedPhase span(tr, "interior");
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
     drain_ghosts(ctx, ghost[r]);
@@ -208,6 +222,7 @@ void DistTriangularSolver::backward(sim::Machine& machine, const RealVec& yin,
     }
     ctx.charge_flops(flops);
   });
+  }
 }
 
 void DistTriangularSolver::apply(sim::Machine& machine, const RealVec& b,

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
+
+#include "ptilu/sim/trace.hpp"
 
 namespace ptilu::sim {
 
@@ -60,14 +63,27 @@ Machine::Machine(int nranks, MachineParams params)
   PTILU_CHECK(nranks >= 1, "machine needs at least one rank");
 }
 
+void Machine::attach_trace(Trace* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) trace_->set_nranks(nranks_);
+}
+
 void Machine::charge_flops(int rank, std::uint64_t n) {
   counters_[rank].flops += n;
-  clock_[rank] += static_cast<double>(n) * params_.flop;
+  const double cost = static_cast<double>(n) * params_.flop;
+  if (trace_ != nullptr) {
+    trace_->record(rank, SpanKind::kCompute, clock_[rank], clock_[rank] + cost, n, 0, 0);
+  }
+  clock_[rank] += cost;
 }
 
 void Machine::charge_mem(int rank, std::uint64_t n) {
   counters_[rank].mem_bytes += n;
-  clock_[rank] += static_cast<double>(n) * params_.mem;
+  const double cost = static_cast<double>(n) * params_.mem;
+  if (trace_ != nullptr) {
+    trace_->record(rank, SpanKind::kCompute, clock_[rank], clock_[rank] + cost, 0, n, 0);
+  }
+  clock_[rank] += cost;
 }
 
 void Machine::post(int from, int to, int tag, std::vector<std::byte> payload) {
@@ -76,7 +92,11 @@ void Machine::post(int from, int to, int tag, std::vector<std::byte> payload) {
   counters_[from].messages_sent += 1;
   counters_[from].bytes_sent += bytes;
   // Sender pays latency plus per-byte injection cost.
-  clock_[from] += params_.alpha + static_cast<double>(bytes) * params_.beta;
+  const double cost = params_.alpha + static_cast<double>(bytes) * params_.beta;
+  if (trace_ != nullptr) {
+    trace_->record(from, SpanKind::kSend, clock_[from], clock_[from] + cost, 0, bytes, 1);
+  }
+  clock_[from] += cost;
   outbox_[to].push_back(Message{from, tag, std::move(payload)});
 }
 
@@ -92,31 +112,49 @@ void Machine::step(const std::function<void(RankContext&)>& body) {
     outbox_[r].clear();
     std::uint64_t inbound = 0;
     for (const Message& m : inbox_[r]) inbound += m.payload.size();
-    clock_[r] += static_cast<double>(inbound) * params_.beta;
+    const double cost = static_cast<double>(inbound) * params_.beta;
+    if (trace_ != nullptr && inbound > 0) {
+      trace_->record(r, SpanKind::kRecv, clock_[r], clock_[r] + cost, 0, inbound,
+                     inbox_[r].size());
+    }
+    clock_[r] += cost;
   }
   // Barrier: all clocks advance to the max plus a latency tree.
   const double sync =
       params_.alpha * std::max(1.0, std::ceil(std::log2(static_cast<double>(nranks_))));
   const double horizon = *std::max_element(clock_.begin(), clock_.end()) + sync;
+  if (trace_ != nullptr) {
+    const SpanKind kind = in_allreduce_ ? SpanKind::kAllreduce : SpanKind::kBarrier;
+    for (int r = 0; r < nranks_; ++r) {
+      trace_->record(r, kind, clock_[r], horizon, 0, 0, 0);
+    }
+    trace_->sync(horizon);
+  }
   std::fill(clock_.begin(), clock_.end(), horizon);
   ++supersteps_;
 }
 
 double Machine::allreduce_sum(const std::function<double(int)>& value_of_rank) {
   double total = 0.0;
+  in_allreduce_ = true;
   step([&](RankContext& ctx) { total += value_of_rank(ctx.rank()); });
+  in_allreduce_ = false;
   return total;
 }
 
 double Machine::allreduce_max(const std::function<double(int)>& value_of_rank) {
   double best = -std::numeric_limits<double>::infinity();
+  in_allreduce_ = true;
   step([&](RankContext& ctx) { best = std::max(best, value_of_rank(ctx.rank())); });
+  in_allreduce_ = false;
   return best;
 }
 
 long long Machine::allreduce_sum_ll(const std::function<long long(int)>& value_of_rank) {
   long long total = 0;
+  in_allreduce_ = true;
   step([&](RankContext& ctx) { total += value_of_rank(ctx.rank()); });
+  in_allreduce_ = false;
   return total;
 }
 
@@ -125,8 +163,15 @@ void Machine::charge_transfer(int from, int to, std::uint64_t bytes) {
               "charge_transfer: invalid rank");
   counters_[from].messages_sent += 1;
   counters_[from].bytes_sent += bytes;
-  clock_[from] += params_.alpha + static_cast<double>(bytes) * params_.beta;
-  clock_[to] += static_cast<double>(bytes) * params_.beta;
+  const double send_cost = params_.alpha + static_cast<double>(bytes) * params_.beta;
+  const double recv_cost = static_cast<double>(bytes) * params_.beta;
+  if (trace_ != nullptr) {
+    trace_->record(from, SpanKind::kSend, clock_[from], clock_[from] + send_cost, 0,
+                   bytes, 1);
+    trace_->record(to, SpanKind::kRecv, clock_[to], clock_[to] + recv_cost, 0, bytes, 1);
+  }
+  clock_[from] += send_cost;
+  clock_[to] += recv_cost;
 }
 
 void Machine::collective(std::uint64_t payload_bytes) {
@@ -134,6 +179,12 @@ void Machine::collective(std::uint64_t payload_bytes) {
   const double cost =
       hops * (params_.alpha + static_cast<double>(payload_bytes) * params_.beta);
   const double horizon = *std::max_element(clock_.begin(), clock_.end()) + cost;
+  if (trace_ != nullptr) {
+    for (int r = 0; r < nranks_; ++r) {
+      trace_->record(r, SpanKind::kAllreduce, clock_[r], horizon, 0, payload_bytes, 0);
+    }
+    trace_->sync(horizon);
+  }
   std::fill(clock_.begin(), clock_.end(), horizon);
   for (auto& c : counters_) c.bytes_sent += payload_bytes;
   ++supersteps_;
@@ -160,6 +211,7 @@ void Machine::reset() {
   for (auto& box : inbox_) box.clear();
   for (auto& box : outbox_) box.clear();
   supersteps_ = 0;
+  if (trace_ != nullptr) trace_->on_machine_reset();
 }
 
 }  // namespace ptilu::sim
