@@ -1,0 +1,206 @@
+// Wall-clock performance harness for the hot paths this library actually
+// spends host time in: serial ILUT, the simulated-parallel PILUT driver,
+// and a preconditioned GMRES solve. Unlike the table harnesses (which
+// report *modeled* Cray T3D time), this one measures real elapsed seconds,
+// so it is the regression gate for host-side optimizations that must leave
+// modeled results bit-identical.
+//
+// Each bench runs `--reps` times and reports the median (plus min/max and
+// the raw samples) in a machine-readable JSON file:
+//
+//   {
+//     "schema": "ptilu-bench-wallclock-v1",
+//     "quick": true,
+//     "repetitions": 5,
+//     "benches": [
+//       {"name": "pilut_g0_p16", "workload": "G0", "kind": "factorization",
+//        "n": 9216, "nnz": 45824, "reps_s": [...],
+//        "median_s": 0.42, "min_s": 0.41, "max_s": 0.44,
+//        "checksum": 1.234e+05},
+//       ...
+//     ]
+//   }
+//
+// The checksum folds the produced factors (or solve result) into a double
+// so the timed work cannot be dead-code-eliminated — and so two builds can
+// be cross-checked for identical numerical output before their medians are
+// compared. scripts/check_bench_json.py validates the schema and computes
+// per-bench speedups between two such files.
+//
+// Flags: --quick (CI-sized problems, fewer reps), --smoke (tiny problems,
+// one rep — schema smoke test only), --reps=N, --json=PATH.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ptilu/ilu/ilut.hpp"
+#include "ptilu/krylov/gmres.hpp"
+#include "ptilu/krylov/preconditioner.hpp"
+#include "ptilu/support/table.hpp"
+#include "ptilu/support/timer.hpp"
+
+namespace {
+
+using namespace ptilu;
+using bench::TestMatrix;
+
+struct BenchResult {
+  std::string name;
+  std::string workload;
+  std::string kind;  // "factorization" or "solve"
+  idx n = 0;
+  nnz_t nnz = 0;
+  std::vector<double> reps_s;
+  double checksum = 0.0;
+
+  double median() const {
+    std::vector<double> sorted = reps_s;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t mid = sorted.size() / 2;
+    return sorted.size() % 2 == 1 ? sorted[mid]
+                                  : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  }
+  double min() const { return *std::min_element(reps_s.begin(), reps_s.end()); }
+  double max() const { return *std::max_element(reps_s.begin(), reps_s.end()); }
+};
+
+/// Fold a factor pair into one double. Deterministic builds produce the
+/// same value, so mismatching checksums between two compared runs mean the
+/// builds are not computing the same factorization.
+double factors_checksum(const IluFactors& factors) {
+  double sum = 0.0;
+  for (const real v : factors.l.values) sum += v;
+  for (const real v : factors.u.values) sum += v;
+  return sum + static_cast<double>(factors.l.col_idx.size()) +
+         static_cast<double>(factors.u.col_idx.size());
+}
+
+/// Time `body` (which returns a checksum) `reps` times.
+BenchResult run_bench(const std::string& name, const TestMatrix& matrix,
+                      const std::string& kind, int reps,
+                      const std::function<double()>& body) {
+  BenchResult result;
+  result.name = name;
+  result.workload = matrix.name;
+  result.kind = kind;
+  result.n = matrix.a.n_rows;
+  result.nnz = static_cast<nnz_t>(matrix.a.values.size());
+  for (int rep = 0; rep < reps; ++rep) {
+    WallTimer timer;
+    result.checksum = body();
+    result.reps_s.push_back(timer.seconds());
+  }
+  std::printf("%-18s %-6s %-13s n=%-7d median %8.4f s  (min %.4f, max %.4f)\n",
+              result.name.c_str(), result.workload.c_str(), result.kind.c_str(),
+              result.n, result.median(), result.min(), result.max());
+  std::fflush(stdout);
+  return result;
+}
+
+void write_json(const std::string& path, bool quick, int reps,
+                const std::vector<BenchResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PTILU_CHECK(f != nullptr, "cannot open " << path << " for writing");
+  std::fprintf(f, "{\n  \"schema\": \"ptilu-bench-wallclock-v1\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n  \"repetitions\": %d,\n", quick ? "true" : "false",
+               reps);
+  std::fprintf(f, "  \"benches\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"workload\": \"%s\", \"kind\": \"%s\", "
+                 "\"n\": %d, \"nnz\": %lld,\n     \"reps_s\": [",
+                 r.name.c_str(), r.workload.c_str(), r.kind.c_str(), r.n,
+                 static_cast<long long>(r.nnz));
+    for (std::size_t k = 0; k < r.reps_s.size(); ++k) {
+      std::fprintf(f, "%s%.6f", k == 0 ? "" : ", ", r.reps_s[k]);
+    }
+    std::fprintf(f, "],\n     \"median_s\": %.6f, \"min_s\": %.6f, \"max_s\": %.6f, ",
+                 r.median(), r.min(), r.max());
+    std::fprintf(f, "\"checksum\": %.17g}%s\n", r.checksum,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const bool smoke = cli.get_bool("smoke", false);
+  bench::Scale scale;  // default preset
+  if (smoke) {
+    scale = {48, 48, 8, 8, 12};
+  } else if (quick) {
+    scale = {96, 96, 16, 16, 24};
+  }
+  const int reps =
+      static_cast<int>(cli.get_int("reps", smoke ? 1 : (quick ? 3 : 5)));
+  const std::string json_path = cli.get_string("json", "");
+  cli.check_all_consumed();
+  PTILU_CHECK(reps >= 1, "--reps must be >= 1");
+
+  const TestMatrix g0 = bench::build_g0(scale);
+  const TestMatrix torso = bench::build_torso(scale);
+  const IlutOptions serial_opts{.m = 10, .tau = 1e-4, .pivot_rel = 1e-12};
+  const PilutOptions pilut_opts{.m = 10, .tau = 1e-4, .pivot_rel = 1e-12};
+
+  std::printf("bench_wallclock: reps=%d scale=%s\n", reps,
+              smoke ? "smoke" : (quick ? "quick" : "default"));
+  std::vector<BenchResult> results;
+
+  // --- Serial ILUT factorization.
+  for (const TestMatrix* matrix : {&g0, &torso}) {
+    results.push_back(run_bench("ilut_" + matrix->name, *matrix, "factorization", reps,
+                                [&]() {
+                                  const IluFactors factors = ilut(matrix->a, serial_opts);
+                                  return factors_checksum(factors);
+                                }));
+  }
+
+  // --- Simulated-parallel PILUT. The partitioning/distribution is setup,
+  // not hot path, so it stays outside the timed region.
+  const int p_small = smoke ? 4 : 16;
+  for (const TestMatrix* matrix : {&g0, &torso}) {
+    const DistCsr dist = bench::distribute(matrix->a, p_small);
+    sim::Machine machine(p_small);
+    results.push_back(run_bench(
+        "pilut_" + matrix->name + "_p" + std::to_string(p_small), *matrix,
+        "factorization", reps, [&]() {
+          const PilutResult result = pilut_factor(machine, dist, pilut_opts);
+          return factors_checksum(result.factors);
+        }));
+  }
+  if (!smoke) {
+    const int p_large = 64;
+    const DistCsr dist = bench::distribute(g0.a, p_large);
+    sim::Machine machine(p_large);
+    results.push_back(run_bench("pilut_G0_p" + std::to_string(p_large), g0,
+                                "factorization", reps, [&]() {
+                                  const PilutResult result =
+                                      pilut_factor(machine, dist, pilut_opts);
+                                  return factors_checksum(result.factors);
+                                }));
+  }
+
+  // --- Preconditioned GMRES(20) solve (host-side triangular solves and
+  // matvecs; the factorization is setup here).
+  {
+    const IluPreconditioner precond(ilut(g0.a, serial_opts));
+    const RealVec b = workloads::rhs_all_ones_solution(g0.a);
+    results.push_back(run_bench("gmres_G0", g0, "solve", reps, [&]() {
+      RealVec x(g0.a.n_rows, 0.0);
+      const GmresResult solve = gmres(g0.a, precond, b, x, {.restart = 20});
+      return solve.final_residual + static_cast<double>(solve.matvecs);
+    }));
+  }
+
+  if (!json_path.empty()) write_json(json_path, quick || smoke, reps, results);
+  return 0;
+}

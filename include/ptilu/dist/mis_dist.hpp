@@ -43,9 +43,29 @@ struct DistMisOptions {
 /// Reusable dense per-rank status arrays. The PILUT driver calls mis_dist
 /// once per reduced-matrix level — hundreds to thousands of times — so the
 /// scratch is allocated once and reset via touched-lists between calls.
+/// Besides the status arrays it pools every per-call buffer whose repeated
+/// construction showed up in wall-clock profiles: the p*p outgoing update
+/// batches, a per-vertex CSR of remote peer ranks (so a status-change
+/// notification walks the handful of peers instead of the full adjacency
+/// list), and a per-round memo of the Luby vertex keys (so a key is hashed
+/// once per round instead of once per incident edge). None of this changes
+/// the modeled machine costs — the same messages and charges are produced.
 struct DistMisScratch {
   std::vector<std::vector<std::uint8_t>> status;  // [rank][global id]
   std::vector<IdxVec> touched;                    // entries to reset per rank
+
+  // Pooled per-call working buffers (capacity persists across calls).
+  std::vector<std::vector<IdxVec>> in_batch;   // [rank][peer] queued kIn notices
+  std::vector<std::vector<IdxVec>> out_batch;  // [rank][peer] queued kOut notices
+  std::vector<IdxVec> peer_start;  // [rank] CSR offsets: local vertex -> peer slice
+  std::vector<std::vector<int>> peer_list;  // [rank] remote peer ranks, dedup'd
+  std::vector<std::uint8_t> peer_stamp;     // dense dedup stamp over ranks
+  IdxVec recv_buf;                          // message decode scratch
+
+  // Lazy per-round vertex-key memo (keys are identical on every rank).
+  std::vector<std::uint64_t> key;        // [global id] memoized vertex_key
+  std::vector<std::uint32_t> key_stamp;  // [global id] round epoch of `key`
+  std::uint32_t round_epoch = 0;
 
   void ensure(int nranks, idx n_global);
 };

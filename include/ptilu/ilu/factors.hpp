@@ -1,6 +1,7 @@
 // Container for incomplete LU factors and shared dropping-rule kernels.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "ptilu/sparse/csr.hpp"
@@ -47,6 +48,17 @@ struct SparseRow {
 /// simulated-parallel factorizations rely on agreeing here. always_keep
 /// (if >= 0) names a column retained unconditionally (the diagonal).
 /// The surviving entries are returned sorted by column.
+///
+/// The 5-argument form stages survivors in the caller-provided `kept`
+/// buffer (cleared on entry), making the call allocation-free once the
+/// buffer is warm — hot loops pass FactorScratch::kept. The 4-argument
+/// convenience form uses a local buffer.
+void select_largest(SparseRow& row, idx keep_count, real tau, idx always_keep,
+                    std::vector<std::pair<idx, real>>& kept);
 void select_largest(SparseRow& row, idx keep_count, real tau, idx always_keep = -1);
+
+/// Concatenate per-row cols/vals into a CSR matrix in one pass over the
+/// rows, writing into exactly-sized storage (no growth reallocation).
+Csr rows_to_csr(idx n, const std::vector<SparseRow>& rows);
 
 }  // namespace ptilu

@@ -107,8 +107,9 @@ class RankContext {
   void send_indices(int to, int tag, const IdxVec& data);
   void send_reals(int to, int tag, const RealVec& data);
 
-  /// All messages delivered to this rank this superstep (moved out; call
-  /// at most once per superstep).
+  /// All messages delivered to this rank this superstep. The inbox is moved
+  /// out and replaced by a fresh empty vector, so a second call in the same
+  /// superstep sees a well-defined empty inbox rather than a moved-from one.
   std::vector<Message> recv_all();
 
  private:
@@ -121,6 +122,12 @@ class RankContext {
 /// Decode helpers for Message payloads.
 IdxVec decode_indices(const Message& m);
 RealVec decode_reals(const Message& m);
+
+/// Append-decoding variants: decode the payload directly onto the end of
+/// `out` with no intermediate vector. Hot receive loops reuse one buffer
+/// across messages instead of allocating a fresh vector per decode.
+void decode_indices_append(const Message& m, IdxVec& out);
+void decode_reals_append(const Message& m, RealVec& out);
 
 class Machine {
  public:
@@ -148,7 +155,10 @@ class Machine {
   void charge_transfer(int from, int to, std::uint64_t bytes);
 
   /// Charge a collective data exchange (allgather/alltoall-style): all
-  /// clocks advance to the max plus a log2(p) tree of (alpha + bytes*beta).
+  /// clocks advance to the max plus a log2(p) tree of (alpha + bytes*beta),
+  /// and every rank's counters charge one message per tree hop plus the
+  /// payload bytes — consistent with the time model and with the trace
+  /// spans, so counter/trace reconciliation covers collectives too.
   /// Counts as one superstep.
   void collective(std::uint64_t payload_bytes);
 

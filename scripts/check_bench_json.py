@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Validate — and optionally compare — bench_wallclock JSON files.
+
+Validation checks (stdlib only, no third-party dependencies):
+  * the file is valid JSON with "schema": "ptilu-bench-wallclock-v1";
+  * top level carries a boolean "quick" and a positive int "repetitions";
+  * "benches" is a non-empty list; every entry has a unique name, a
+    workload, a kind in {factorization, solve}, positive n/nnz, a
+    "reps_s" list of `repetitions` positive floats, and median/min/max
+    consistent with the samples (median recomputed, min <= median <= max);
+  * a numeric "checksum" (guards against dead-code-eliminated benches).
+
+Comparison mode (--compare BASELINE CURRENT) validates both files, pairs
+benches by name, requires matching checksums (the two builds must compute
+identical results for a wall-clock comparison to be meaningful), and
+prints the per-bench speedup baseline_median / current_median. With
+--require-speedup X it fails unless every *factorization* bench reaches
+that speedup; with --out PATH it writes CURRENT augmented with
+"baseline_median_s" and "speedup" per bench (the merged file still
+validates as ptilu-bench-wallclock-v1).
+
+Exit status 0 on success, 1 on any violation.
+
+Usage:
+  check_bench_json.py BENCH.json
+  check_bench_json.py --compare OLD.json NEW.json [--require-speedup 1.3]
+                      [--out MERGED.json]
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "ptilu-bench-wallclock-v1"
+KINDS = {"factorization", "solve"}
+REL_EPS = 1e-9
+
+
+def load(path, errors):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        errors.append(f"{path}: cannot parse: {exc}")
+        return None
+
+
+def validate(doc, path, errors):
+    """Append schema violations for doc to errors."""
+    if not isinstance(doc, dict):
+        errors.append(f"{path}: top level is not a JSON object")
+        return
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"{path}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    if not isinstance(doc.get("quick"), bool):
+        errors.append(f"{path}: missing boolean 'quick'")
+    reps = doc.get("repetitions")
+    if not isinstance(reps, int) or reps < 1:
+        errors.append(f"{path}: 'repetitions' must be a positive int")
+        reps = None
+    benches = doc.get("benches")
+    if not isinstance(benches, list) or not benches:
+        errors.append(f"{path}: 'benches' must be a non-empty list")
+        return
+    seen = set()
+    for i, bench in enumerate(benches):
+        where = f"{path}: benches[{i}]"
+        if not isinstance(bench, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = bench.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing name")
+        elif name in seen:
+            errors.append(f"{where}: duplicate name {name!r}")
+        else:
+            seen.add(name)
+        if not isinstance(bench.get("workload"), str):
+            errors.append(f"{where}: missing workload")
+        if bench.get("kind") not in KINDS:
+            errors.append(f"{where}: kind {bench.get('kind')!r} not in {sorted(KINDS)}")
+        for key in ("n", "nnz"):
+            if not isinstance(bench.get(key), int) or bench.get(key) <= 0:
+                errors.append(f"{where}: '{key}' must be a positive int")
+        if not isinstance(bench.get("checksum"), (int, float)):
+            errors.append(f"{where}: missing numeric checksum")
+        samples = bench.get("reps_s")
+        if (not isinstance(samples, list) or not samples
+                or not all(isinstance(s, (int, float)) and s > 0 for s in samples)):
+            errors.append(f"{where}: 'reps_s' must be a list of positive numbers")
+            continue
+        if reps is not None and len(samples) != reps:
+            errors.append(f"{where}: {len(samples)} samples, expected {reps}")
+        ordered = sorted(samples)
+        mid = len(ordered) // 2
+        median = ordered[mid] if len(ordered) % 2 else 0.5 * (ordered[mid - 1] + ordered[mid])
+        for key, want in (("median_s", median), ("min_s", ordered[0]), ("max_s", ordered[-1])):
+            got = bench.get(key)
+            if not isinstance(got, (int, float)):
+                errors.append(f"{where}: missing numeric '{key}'")
+            elif abs(got - want) > REL_EPS + 1e-6 * abs(want):
+                errors.append(f"{where}: '{key}' is {got}, samples say {want}")
+
+
+def compare(baseline, current, args, errors):
+    base_by_name = {b["name"]: b for b in baseline["benches"]}
+    rows = []
+    for bench in current["benches"]:
+        name = bench["name"]
+        base = base_by_name.get(name)
+        if base is None:
+            print(f"note: bench {name!r} has no baseline entry, skipped")
+            continue
+        if abs(base["checksum"] - bench["checksum"]) > 1e-9 * max(
+                1.0, abs(base["checksum"])):
+            errors.append(
+                f"{name}: checksum mismatch (baseline {base['checksum']!r}, "
+                f"current {bench['checksum']!r}) — builds disagree numerically")
+            continue
+        speedup = base["median_s"] / bench["median_s"]
+        rows.append((name, bench["kind"], base["median_s"], bench["median_s"], speedup))
+        bench["baseline_median_s"] = base["median_s"]
+        bench["speedup"] = round(speedup, 4)
+    if not rows:
+        errors.append("no comparable benches between the two files")
+        return
+    print(f"{'bench':<20} {'kind':<14} {'baseline':>10} {'current':>10} {'speedup':>8}")
+    for name, kind, base_s, cur_s, speedup in rows:
+        print(f"{name:<20} {kind:<14} {base_s:>9.4f}s {cur_s:>9.4f}s {speedup:>7.2f}x")
+    if args.require_speedup is not None:
+        for name, kind, _, _, speedup in rows:
+            if kind == "factorization" and speedup < args.require_speedup:
+                errors.append(
+                    f"{name}: speedup {speedup:.2f}x below required "
+                    f"{args.require_speedup:.2f}x")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(current, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+",
+                        help="one file to validate, or two with --compare")
+    parser.add_argument("--compare", action="store_true",
+                        help="treat files as BASELINE CURRENT and report speedups")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        help="fail unless every factorization bench reaches this speedup")
+    parser.add_argument("--out", default=None,
+                        help="with --compare: write CURRENT merged with baseline medians")
+    args = parser.parse_args()
+
+    if args.compare and len(args.files) != 2:
+        parser.error("--compare needs exactly two files: BASELINE CURRENT")
+    if not args.compare and len(args.files) != 1:
+        parser.error("validation mode takes exactly one file")
+
+    errors = []
+    docs = [load(path, errors) for path in args.files]
+    for doc, path in zip(docs, args.files):
+        if doc is not None:
+            validate(doc, path, errors)
+    if not errors and args.compare:
+        compare(docs[0], docs[1], args, errors)
+
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}")
+        print(f"{len(errors)} violation(s)")
+        return 1
+    if not args.compare:
+        doc = docs[0]
+        print(f"OK: {args.files[0]}: {len(doc['benches'])} benches, "
+              f"{doc['repetitions']} repetitions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,19 @@ void DistMisScratch::ensure(int nranks, idx n_global) {
     if (static_cast<idx>(s.size()) < n_global) s.assign(n_global, kCandidate);
   }
   if (static_cast<int>(touched.size()) < nranks) touched.resize(nranks);
+  if (static_cast<int>(in_batch.size()) < nranks) {
+    in_batch.assign(nranks, std::vector<IdxVec>(nranks));
+    out_batch.assign(nranks, std::vector<IdxVec>(nranks));
+  }
+  if (static_cast<int>(peer_start.size()) < nranks) {
+    peer_start.resize(nranks);
+    peer_list.resize(nranks);
+  }
+  if (static_cast<int>(peer_stamp.size()) < nranks) peer_stamp.assign(nranks, 0);
+  if (static_cast<idx>(key.size()) < n_global) {
+    key.resize(n_global);
+    key_stamp.assign(n_global, 0);
+  }
 }
 
 IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOptions& opts,
@@ -57,52 +70,62 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
   sim::ScopedPhase mis_phase(tr, "mis");
 
   // Setup phase (the paper's "communication setup"): initialize owned and
-  // mirror statuses. Peer ranks are discovered lazily when a vertex's
-  // status changes — each vertex changes status at most once per call, so
-  // the total notification work stays O(edges) without per-vertex peer
-  // lists.
+  // mirror statuses. While the same pass is over the adjacency anyway, it
+  // also records for each owned vertex the dedup'd list of remote peer
+  // ranks (CSR layout in the scratch): a status-change notification then
+  // walks that short list instead of rescanning the vertex's adjacency.
+  // Peer order matches first occurrence in the adjacency list, so the
+  // queued batches — and hence the messages — are byte-identical to the
+  // lazy-discovery scheme this replaces.
   {
   sim::ScopedPhase span(tr, "setup");
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
     auto& status = sc.status[r];
     auto& touched = sc.touched[r];
+    auto& pstart = sc.peer_start[r];
+    auto& plist = sc.peer_list[r];
     const IdxVec& verts = graph.verts_of[r];
+    pstart.clear();
+    pstart.reserve(verts.size() + 1);
+    pstart.push_back(0);
+    plist.clear();
     std::uint64_t scanned = 0;
     for (std::size_t i = 0; i < verts.size(); ++i) {
       status[verts[i]] = kCandidate;
       touched.push_back(verts[i]);
+      const std::size_t first_peer = plist.size();
       for (const idx u : graph.adj[r][i]) {
         ++scanned;
-        if ((*graph.owner)[u] != r) {
+        const int peer = (*graph.owner)[u];
+        if (peer != r) {
           status[u] = kCandidate;  // mirror entry
           touched.push_back(u);
+          if (!sc.peer_stamp[peer]) {
+            sc.peer_stamp[peer] = 1;
+            plist.push_back(peer);
+          }
         }
       }
+      for (std::size_t p = first_peer; p < plist.size(); ++p) sc.peer_stamp[plist[p]] = 0;
+      pstart.push_back(static_cast<idx>(plist.size()));
     }
     ctx.charge_mem(scanned * sizeof(idx));
   });
   }
 
-  // Per-rank outgoing update batches, dense by peer (reused each step).
-  std::vector<std::vector<IdxVec>> in_batch(nranks, std::vector<IdxVec>(nranks));
-  std::vector<std::vector<IdxVec>> out_batch(nranks, std::vector<IdxVec>(nranks));
-  std::vector<std::uint8_t> peer_stamp(nranks, 0);
+  // Per-rank outgoing update batches, dense by peer (pooled in the scratch,
+  // cleared after each flush so capacity persists across rounds and calls).
+  auto& in_batch = sc.in_batch;
+  auto& out_batch = sc.out_batch;
   // Queue a status-change notice for every peer rank owning a neighbor of
-  // verts_of[r][i]; dedupes peers with a dense stamp.
-  std::vector<int> seen_peers;
+  // verts_of[r][i], via the precomputed peer CSR.
   const auto notify = [&](int r, std::size_t i, idx v,
                           std::vector<IdxVec>& batch) {
-    auto& seen = seen_peers;
-    seen.clear();
-    for (const idx u : graph.adj[r][i]) {
-      const int peer = (*graph.owner)[u];
-      if (peer == r || peer_stamp[peer]) continue;
-      peer_stamp[peer] = 1;
-      seen.push_back(peer);
-      batch[peer].push_back(v);
-    }
-    for (const int peer : seen) peer_stamp[peer] = 0;
+    const auto& pstart = sc.peer_start[r];
+    const auto& plist = sc.peer_list[r];
+    const idx end = pstart[i + 1];
+    for (idx p = pstart[i]; p < end; ++p) batch[plist[p]].push_back(v);
   };
   const auto flush_batches = [&](sim::RankContext& ctx, int r) {
     for (int peer = 0; peer < nranks; ++peer) {
@@ -118,10 +141,25 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
   };
 
   long long candidates_left = 1;
+  IdxVec selected;  // per-rank winners, reused across ranks and rounds
   {
   sim::ScopedPhase rounds_span(tr, "rounds");
   for (int round = 0; round < opts.rounds && candidates_left > 0; ++round) {
     candidates_left = 0;
+    // New memo epoch for this round's vertex keys. A key depends only on
+    // (seed, vertex, round), so the memo is safely shared by all ranks; on
+    // the (never reached in practice) epoch wrap, invalidate the stamps.
+    if (++sc.round_epoch == 0) {
+      std::fill(sc.key_stamp.begin(), sc.key_stamp.end(), 0u);
+      sc.round_epoch = 1;
+    }
+    const auto key_of = [&](idx v) {
+      if (sc.key_stamp[v] != sc.round_epoch) {
+        sc.key_stamp[v] = sc.round_epoch;
+        sc.key[v] = vertex_key(opts.seed, v, round);
+      }
+      return sc.key[v];
+    };
     // One superstep per round: apply deferred mirror updates, dominate owned
     // candidates that gained an In neighbor, then select strict local key
     // minima among the remaining candidates. Selection uses only
@@ -133,7 +171,9 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
       auto& status = sc.status[r];
       for (const sim::Message& msg : ctx.recv_all()) {
         const std::uint8_t value = msg.tag == kTagIn ? kIn : kOut;
-        for (const idx v : sim::decode_indices(msg)) status[v] = value;
+        sc.recv_buf.clear();
+        sim::decode_indices_append(msg, sc.recv_buf);
+        for (const idx v : sc.recv_buf) status[v] = value;
       }
 
       const IdxVec& verts = graph.verts_of[r];
@@ -153,16 +193,16 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
       }
       // Selection sweep (round-start statuses; domination above only uses
       // information already final at round start, i.e. In vertices).
-      IdxVec selected;
+      selected.clear();
       for (std::size_t i = 0; i < verts.size(); ++i) {
         const idx v = verts[i];
         if (status[v] != kCandidate) continue;
-        const std::uint64_t key_v = vertex_key(opts.seed, v, round);
+        const std::uint64_t key_v = key_of(v);
         bool is_min = true;
         for (const idx u : graph.adj[r][i]) {
           ++comparisons;
           if (status[u] != kCandidate) continue;
-          const std::uint64_t key_u = vertex_key(opts.seed, u, round);
+          const std::uint64_t key_u = key_of(u);
           if (key_u < key_v || (key_u == key_v && u < v)) {
             is_min = false;
             break;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <numeric>
 
 #include "ptilu/support/check.hpp"
@@ -28,10 +29,11 @@ double IluFactors::fill_factor(nnz_t nnz_a) const {
   return static_cast<double>(l.nnz() + u.nnz()) / static_cast<double>(nnz_a);
 }
 
-void select_largest(SparseRow& row, idx keep_count, real tau, idx always_keep) {
+void select_largest(SparseRow& row, idx keep_count, real tau, idx always_keep,
+                    std::vector<std::pair<idx, real>>& kept) {
   PTILU_CHECK(keep_count >= 0, "negative keep count");
   // Gather survivors of the threshold test (plus the protected column).
-  std::vector<std::pair<idx, real>> kept;
+  kept.clear();
   kept.reserve(row.size());
   std::pair<idx, real> protected_entry{-1, 0.0};
   bool have_protected = false;
@@ -59,6 +61,30 @@ void select_largest(SparseRow& row, idx keep_count, real tau, idx always_keep) {
 
   row.clear();
   for (const auto& [c, v] : kept) row.push(c, v);
+}
+
+void select_largest(SparseRow& row, idx keep_count, real tau, idx always_keep) {
+  std::vector<std::pair<idx, real>> kept;
+  select_largest(row, keep_count, tau, always_keep, kept);
+}
+
+Csr rows_to_csr(idx n, const std::vector<SparseRow>& rows) {
+  Csr m(n, n);
+  nnz_t total = 0;
+  for (const auto& row : rows) total += static_cast<nnz_t>(row.size());
+  m.col_idx.resize(total);
+  m.values.resize(total);
+  nnz_t at = 0;
+  for (idx i = 0; i < n; ++i) {
+    const SparseRow& row = rows[i];
+    std::copy(row.cols.begin(), row.cols.end(),
+              m.col_idx.begin() + static_cast<std::ptrdiff_t>(at));
+    std::copy(row.vals.begin(), row.vals.end(),
+              m.values.begin() + static_cast<std::ptrdiff_t>(at));
+    at += static_cast<nnz_t>(row.size());
+    m.row_ptr[i + 1] = at;
+  }
+  return m;
 }
 
 }  // namespace ptilu

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
+#include "ptilu/ilu/factor_scratch.hpp"
 #include "ptilu/ilu/working_row.hpp"
 #include "ptilu/support/check.hpp"
 
@@ -11,28 +11,22 @@ namespace ptilu {
 
 namespace {
 
-/// Min-heap of column indices awaiting elimination.
-using ColumnHeap = std::priority_queue<idx, std::vector<idx>, std::greater<idx>>;
-
-Csr rows_to_csr(idx n, const std::vector<SparseRow>& rows) {
-  Csr m(n, n);
-  nnz_t total = 0;
-  for (const auto& row : rows) total += static_cast<nnz_t>(row.size());
-  m.col_idx.reserve(total);
-  m.values.reserve(total);
-  for (idx i = 0; i < n; ++i) {
-    m.col_idx.insert(m.col_idx.end(), rows[i].cols.begin(), rows[i].cols.end());
-    m.values.insert(m.values.end(), rows[i].vals.begin(), rows[i].vals.end());
-    m.row_ptr[i + 1] = static_cast<nnz_t>(m.col_idx.size());
-  }
-  return m;
-}
-
 real guarded_pivot(real diag, real floor_abs, IlutStats* stats) {
   if (std::abs(diag) >= floor_abs) return diag;
   PTILU_CHECK(floor_abs > 0.0, "zero pivot encountered and pivot guard disabled");
   if (stats != nullptr) ++stats->pivots_guarded;
   return diag == 0.0 ? floor_abs : std::copysign(floor_abs, diag);
+}
+
+/// Materialize a final U row from its selected strictly-upper part: the
+/// diagonal slot is reserved up front and written first, so the row never
+/// pays the O(row) insert-at-front the diagonal prepend used to cost.
+void emit_urow(SparseRow& urow, idx i, real diag, const SparseRow& upper) {
+  urow.cols.reserve(upper.size() + 1);
+  urow.vals.reserve(upper.size() + 1);
+  urow.push(i, diag);
+  urow.cols.insert(urow.cols.end(), upper.cols.begin(), upper.cols.end());
+  urow.vals.insert(urow.vals.end(), upper.vals.begin(), upper.vals.end());
 }
 
 }  // namespace
@@ -46,7 +40,7 @@ IluFactors ilut(const Csr& a, const IlutOptions& opts, IlutStats* stats) {
   std::vector<SparseRow> lrows(n), urows(n);
   RealVec udiag(n, 0.0);
   WorkingRow w(n);
-  SparseRow scratch;
+  FactorScratch scratch;
   IlutStats local_stats;
   IlutStats* st = stats != nullptr ? stats : &local_stats;
 
@@ -54,7 +48,7 @@ IluFactors ilut(const Csr& a, const IlutOptions& opts, IlutStats* stats) {
     PTILU_CHECK(norms[i] > 0.0, "row " << i << " of A is entirely zero");
     const real tau_i = opts.tau * norms[i];
 
-    ColumnHeap heap;
+    ColumnHeap heap = make_column_heap(scratch.heap);
     for (nnz_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
       const idx c = a.col_idx[k];
       w.insert(c, a.values[k]);
@@ -64,8 +58,7 @@ IluFactors ilut(const Csr& a, const IlutOptions& opts, IlutStats* stats) {
     // Eliminate lower-part columns in ascending order; fill may enqueue
     // further lower columns (always larger than the one being processed).
     while (!heap.empty()) {
-      const idx k = heap.top();
-      heap.pop();
+      const idx k = heap.pop();
       const real multiplier = w.value(k) / udiag[k];
       ++st->flops;
       if (std::abs(multiplier) < tau_i) {  // 1st dropping rule
@@ -75,7 +68,10 @@ IluFactors ilut(const Csr& a, const IlutOptions& opts, IlutStats* stats) {
       }
       w.set(k, multiplier);
       const SparseRow& urow = urows[k];
-      st->flops += 2 * static_cast<std::uint64_t>(urow.size());
+      // One multiply-add per strictly-upper entry of u_k; the stored
+      // diagonal (slot 0) is consumed by the divide counted above, so it
+      // must not be double-charged here.
+      st->flops += 2 * static_cast<std::uint64_t>(urow.size() - 1);
       // p starts at 1: u rows store the diagonal first, and the update
       // w -= w_k * u_k uses only the strictly upper part of u_k.
       for (std::size_t p = 1; p < urow.size(); ++p) {
@@ -90,31 +86,34 @@ IluFactors ilut(const Csr& a, const IlutOptions& opts, IlutStats* stats) {
       }
     }
 
-    // Split the working row and apply the 2nd dropping rule to each part.
-    SparseRow& lrow = lrows[i];
-    SparseRow& urow = urows[i];
+    // Split the working row into the pooled staging rows and apply the 2nd
+    // dropping rule to each part.
+    SparseRow& lstage = scratch.lstage;
+    SparseRow& ustage = scratch.ustage;
+    lstage.clear();
+    ustage.clear();
     real diag = 0.0;
     for (const idx c : w.touched()) {
       const real v = w.value(c);
       if (c < i) {
-        if (v != 0.0) lrow.push(c, v);
+        if (v != 0.0) lstage.push(c, v);
       } else if (c == i) {
         diag = v;
       } else {
-        urow.push(c, v);
+        ustage.push(c, v);
       }
     }
-    const std::size_t before = lrow.size() + urow.size();
-    select_largest(lrow, opts.m, tau_i);
-    select_largest(urow, opts.m, tau_i);
-    st->dropped_rule2 += before - (lrow.size() + urow.size());
+    const std::size_t before = lstage.size() + ustage.size();
+    select_largest(lstage, opts.m, tau_i, -1, scratch.kept);
+    select_largest(ustage, opts.m, tau_i, -1, scratch.kept);
+    st->dropped_rule2 += before - (lstage.size() + ustage.size());
 
     diag = guarded_pivot(diag, opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0, st);
     PTILU_CHECK(diag != 0.0, "zero pivot at row " << i << " (enable pivot_rel to guard)");
     udiag[i] = diag;
-    // Prepend the diagonal so U rows always start with it.
-    urow.cols.insert(urow.cols.begin(), i);
-    urow.vals.insert(urow.vals.begin(), diag);
+    lrows[i].cols = lstage.cols;  // exact-sized copies of the survivors
+    lrows[i].vals = lstage.vals;
+    emit_urow(urows[i], i, diag, ustage);
 
     w.clear();
   }
@@ -133,6 +132,7 @@ IluFactors iluk(const Csr& a, idx level, IlutStats* stats) {
   PTILU_CHECK(a.n_rows == a.n_cols, "ILU(k) needs a square matrix");
   PTILU_CHECK(level >= 0, "fill level must be non-negative");
   const idx n = a.n_rows;
+  FactorScratch scratch;
 
   // --- Symbolic phase: compute the level-of-fill pattern row by row.
   // lev(i,j) = 0 for original entries; a fill entry created by eliminating
@@ -143,9 +143,9 @@ IluFactors iluk(const Csr& a, idx level, IlutStats* stats) {
   {
     std::vector<idx> level_of(n, -1);  // -1 = absent from working row
     IdxVec touched;
-    ColumnHeap heap;
     for (idx i = 0; i < n; ++i) {
       touched.clear();
+      ColumnHeap heap = make_column_heap(scratch.heap);
       bool diag_present = false;
       for (nnz_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
         const idx c = a.col_idx[k];
@@ -159,8 +159,7 @@ IluFactors iluk(const Csr& a, idx level, IlutStats* stats) {
         touched.push_back(i);
       }
       while (!heap.empty()) {
-        const idx k = heap.top();
-        heap.pop();
+        const idx k = heap.pop();
         const idx base = level_of[k];
         if (base < 0 || base > level) continue;  // dropped from pattern
         const IdxVec& cols = pattern_cols[k];
@@ -218,23 +217,31 @@ IluFactors iluk(const Csr& a, idx level, IlutStats* stats) {
         // Updates landing outside the pattern are discarded (zero fill).
       }
     }
-    SparseRow& lrow = lrows[i];
-    SparseRow& urow = urows[i];
-    real diag = 0.0;
-    for (const idx c : pattern_cols[i]) {
-      const real v = w.value(c);
-      if (c < i) {
-        lrow.push(c, v);
-      } else if (c == i) {
-        diag = v;
-      } else {
-        urow.push(c, v);
-      }
-    }
+    // The pattern is sorted and structurally contains the diagonal, so the
+    // split point gives both parts' exact sizes and the U row can be
+    // written diagonal-first without a prepend.
+    const IdxVec& cols = pattern_cols[i];
+    const auto diag_it = std::lower_bound(cols.begin(), cols.end(), i);
+    PTILU_ASSERT(diag_it != cols.end() && *diag_it == i,
+                 "diagonal missing from ILU(k) pattern at row " << i);
+    const std::size_t nlower = static_cast<std::size_t>(diag_it - cols.begin());
+    const real diag = w.value(i);
     PTILU_CHECK(diag != 0.0, "zero pivot at row " << i << " in ILU(" << level << ")");
     udiag[i] = diag;
-    urow.cols.insert(urow.cols.begin(), i);
-    urow.vals.insert(urow.vals.begin(), diag);
+    SparseRow& lrow = lrows[i];
+    SparseRow& urow = urows[i];
+    lrow.cols.reserve(nlower);
+    lrow.vals.reserve(nlower);
+    urow.cols.reserve(cols.size() - nlower);
+    urow.vals.reserve(cols.size() - nlower);
+    urow.push(i, diag);
+    for (const idx c : cols) {
+      if (c < i) {
+        lrow.push(c, w.value(c));
+      } else if (c > i) {
+        urow.push(c, w.value(c));
+      }
+    }
     w.clear();
   }
 

@@ -19,6 +19,8 @@ void assemble_factors(const std::vector<SparseRow>& lrows,
       entries.emplace_back(newnum[lrows[orig].cols[p]], lrows[orig].vals[p]);
     }
     std::sort(entries.begin(), entries.end());
+    lnew[row].cols.reserve(entries.size());
+    lnew[row].vals.reserve(entries.size());
     for (const auto& [c, v] : entries) {
       PTILU_ASSERT(c < row, "L entry not below the diagonal after renumbering");
       lnew[row].push(c, v);
@@ -28,6 +30,8 @@ void assemble_factors(const std::vector<SparseRow>& lrows,
       entries.emplace_back(newnum[urows[orig].cols[p]], urows[orig].vals[p]);
     }
     std::sort(entries.begin(), entries.end());
+    unew[row].cols.reserve(entries.size());
+    unew[row].vals.reserve(entries.size());
     for (const auto& [c, v] : entries) unew[row].push(c, v);
   }
   out.l = rows_to_csr(n, lnew);
@@ -36,8 +40,8 @@ void assemble_factors(const std::vector<SparseRow>& lrows,
 
 void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
                         const PilutOptions& opts, const RealVec& norms,
-                        FactorState& state, WorkingRow& w, PilutSchedule& sched,
-                        PilutStats& stats) {
+                        FactorState& state, WorkingRow& w, FactorScratch& scratch,
+                        PilutSchedule& sched, PilutStats& stats) {
   const Csr& a = dist.a;
   const int nranks = dist.nranks;
 
@@ -61,7 +65,7 @@ void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
       if (dist.interface[i]) continue;
       const real tau_i = opts.tau * norms[i];
       const auto eliminatable = [&](idx c) { return c < i && !dist.interface[c]; };
-      ColumnHeap heap;
+      ColumnHeap heap = make_column_heap(scratch.heap);
       for (nnz_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
         const idx c = a.col_idx[k];
         w.insert(c, a.values[k]);
@@ -69,28 +73,31 @@ void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
       }
       flops += eliminate_cascading(w, state, tau_i, heap, eliminatable);
 
-      SparseRow& lrow = state.lrows[i];
-      SparseRow& urow = state.urows[i];
+      SparseRow& lstage = scratch.lstage;
+      SparseRow& ustage = scratch.ustage;
+      lstage.clear();
+      ustage.clear();
       real diag = 0.0;
       for (const idx c : w.touched()) {
         const real v = w.value(c);
         if (c == i) {
           diag = v;
         } else if (c < i && !dist.interface[c]) {
-          if (v != 0.0) lrow.push(c, v);
+          if (v != 0.0) lstage.push(c, v);
         } else {
           // Interface columns and larger interior columns are all U-side:
           // every interface column is numbered after every interior one.
-          urow.push(c, v);
+          ustage.push(c, v);
         }
       }
-      select_largest(lrow, opts.m, tau_i);
-      select_largest(urow, opts.m, tau_i);
+      select_largest(lstage, opts.m, tau_i, -1, scratch.kept);
+      select_largest(ustage, opts.m, tau_i, -1, scratch.kept);
       diag = guarded_pivot(i, diag,
                            opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0, stats);
       state.udiag[i] = diag;
-      urow.cols.insert(urow.cols.begin(), i);
-      urow.vals.insert(urow.vals.begin(), diag);
+      state.lrows[i].cols = lstage.cols;  // exact-sized survivor copies
+      state.lrows[i].vals = lstage.vals;
+      emit_urow(state.urows[i], i, diag, ustage);
       state.factored[i] = true;
       w.clear();
     }
@@ -102,7 +109,7 @@ void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
 void run_initial_reduction(sim::Machine& machine, const DistCsr& dist,
                            const PilutOptions& opts, const RealVec& norms,
                            idx tail_cap, FactorState& state, WorkingRow& w,
-                           PilutStats& stats) {
+                           FactorScratch& scratch, PilutStats& stats) {
   const Csr& a = dist.a;
   sim::ScopedPhase phase(machine.trace(), "factor/interface/form_reduced");
   machine.step([&](sim::RankContext& ctx) {
@@ -112,7 +119,7 @@ void run_initial_reduction(sim::Machine& machine, const DistCsr& dist,
       if (!dist.interface[i]) continue;
       const real tau_i = opts.tau * norms[i];
       const auto eliminatable = [&](idx c) { return !dist.interface[c]; };
-      ColumnHeap heap;
+      ColumnHeap heap = make_column_heap(scratch.heap);
       for (nnz_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
         const idx c = a.col_idx[k];
         w.insert(c, a.values[k]);
@@ -121,19 +128,22 @@ void run_initial_reduction(sim::Machine& machine, const DistCsr& dist,
       if (!w.present(i)) w.insert(i, 0.0);  // keep the diagonal structurally
       flops += eliminate_cascading(w, state, tau_i, heap, eliminatable);
 
-      SparseRow& lrow = state.lrows[i];
+      SparseRow& lstage = scratch.lstage;
+      lstage.clear();
       SparseRow& tail = state.tails[i];
       for (const idx c : w.touched()) {
         const real v = w.value(c);
         if (!dist.interface[c]) {
-          if (v != 0.0) lrow.push(c, v);  // factored (interior) columns -> L
+          if (v != 0.0) lstage.push(c, v);  // factored (interior) columns -> L
         } else {
           tail.push(c, v);  // unfactored interface columns (incl. diagonal)
         }
       }
-      select_largest(lrow, opts.m, tau_i);  // 3rd dropping rule (L side)
+      select_largest(lstage, opts.m, tau_i, -1, scratch.kept);  // 3rd dropping rule (L side)
+      state.lrows[i].cols = lstage.cols;
+      state.lrows[i].vals = lstage.vals;
       if (tail_cap > 0) {
-        select_largest(tail, tail_cap, 0.0, /*always_keep=*/i);  // ILUT* cap
+        select_largest(tail, tail_cap, 0.0, /*always_keep=*/i, scratch.kept);  // ILUT* cap
       }
       stats.max_reduced_row =
           std::max(stats.max_reduced_row, static_cast<nnz_t>(tail.size()));

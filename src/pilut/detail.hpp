@@ -2,17 +2,15 @@
 #pragma once
 
 #include <cmath>
-#include <queue>
 
 #include "ptilu/dist/distcsr.hpp"
+#include "ptilu/ilu/factor_scratch.hpp"
 #include "ptilu/ilu/factors.hpp"
 #include "ptilu/ilu/working_row.hpp"
 #include "ptilu/pilut/pilut.hpp"
 #include "ptilu/support/check.hpp"
 
 namespace ptilu::pilut_detail {
-
-using ColumnHeap = std::priority_queue<idx, std::vector<idx>, std::greater<idx>>;
 
 /// Shared state of a parallel factorization, indexed by ORIGINAL row ids.
 struct FactorState {
@@ -33,12 +31,11 @@ struct FactorState {
 /// the 1st dropping rule. Returns the flop count.
 template <typename Eliminatable, typename Compare>
 std::uint64_t eliminate_cascading(WorkingRow& w, FactorState& state, real tau_i,
-                                  std::priority_queue<idx, std::vector<idx>, Compare>& heap,
+                                  PooledHeap<Compare>& heap,
                                   Eliminatable&& eliminatable) {
   std::uint64_t flops = 0;
   while (!heap.empty()) {
-    const idx k = heap.top();
-    heap.pop();
+    const idx k = heap.pop();
     const real multiplier = w.value(k) / state.udiag[k];
     ++flops;
     if (std::abs(multiplier) < tau_i) {  // 1st dropping rule
@@ -47,7 +44,10 @@ std::uint64_t eliminate_cascading(WorkingRow& w, FactorState& state, real tau_i,
     }
     w.set(k, multiplier);
     const SparseRow& urow = state.urows[k];
-    flops += 2 * static_cast<std::uint64_t>(urow.size());
+    // The update loop below skips the stored diagonal, so charge only the
+    // strictly-upper entries (2 flops each) — keeps the simulated Mflop
+    // rate in agreement with the serial ilut() accounting.
+    flops += 2 * static_cast<std::uint64_t>(urow.size() - 1);
     for (std::size_t p = 1; p < urow.size(); ++p) {  // skip stored diagonal
       const idx c = urow.cols[p];
       const real update = -multiplier * urow.vals[p];
@@ -62,37 +62,33 @@ std::uint64_t eliminate_cascading(WorkingRow& w, FactorState& state, real tau_i,
   return flops;
 }
 
+/// Materialize a final U row diagonal-first from its selected off-diagonal
+/// part, reserving the exact size up front (no insert-at-front shuffle).
+inline void emit_urow(SparseRow& urow, idx i, real diag, const SparseRow& upper) {
+  urow.cols.reserve(upper.size() + 1);
+  urow.vals.reserve(upper.size() + 1);
+  urow.push(i, diag);
+  urow.cols.insert(urow.cols.end(), upper.cols.begin(), upper.cols.end());
+  urow.vals.insert(urow.vals.end(), upper.vals.begin(), upper.vals.end());
+}
+
 /// Phase 1 of every parallel factorization: each rank ILUT-factors its
 /// interior rows (communication-free). Also assigns interior new numbers
 /// rank-major into sched (caller must have sized sched.newnum).
 void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
                         const PilutOptions& opts, const RealVec& norms,
-                        FactorState& state, WorkingRow& w, PilutSchedule& sched,
-                        PilutStats& stats);
+                        FactorState& state, WorkingRow& w, FactorScratch& scratch,
+                        PilutSchedule& sched, PilutStats& stats);
 
 /// Phase 1b: interface rows eliminate their local interior columns, forming
 /// the initial reduced rows (tails). tail_cap 0 keeps everything (ILUT).
 void run_initial_reduction(sim::Machine& machine, const DistCsr& dist,
                            const PilutOptions& opts, const RealVec& norms,
                            idx tail_cap, FactorState& state, WorkingRow& w,
-                           PilutStats& stats);
+                           FactorScratch& scratch, PilutStats& stats);
 
 /// Finalize stats fields from the machine counters.
 void finish_stats(const sim::Machine& machine, PilutStats& stats);
-
-inline Csr rows_to_csr(idx n, const std::vector<SparseRow>& rows) {
-  Csr m(n, n);
-  nnz_t total = 0;
-  for (const auto& row : rows) total += static_cast<nnz_t>(row.size());
-  m.col_idx.reserve(total);
-  m.values.reserve(total);
-  for (idx i = 0; i < n; ++i) {
-    m.col_idx.insert(m.col_idx.end(), rows[i].cols.begin(), rows[i].cols.end());
-    m.values.insert(m.values.end(), rows[i].vals.begin(), rows[i].vals.end());
-    m.row_ptr[i + 1] = static_cast<nnz_t>(m.col_idx.size());
-  }
-  return m;
-}
 
 inline real guarded_pivot(idx row, real diag, real floor_abs, PilutStats& stats) {
   if (std::abs(diag) >= floor_abs && diag != 0.0) return diag;

@@ -53,6 +53,7 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
   std::vector<SparseRow> lrows(n), urows(n);
   RealVec udiag(n, 0.0);
   WorkingRow w(n);
+  FactorScratch scratch;
 
   // The zero-fill numeric kernel: load the pattern row, eliminate the given
   // factored columns in ascending new-number order, updates restricted to
@@ -85,23 +86,22 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
 
   const auto split_row = [&](idx i, const auto& is_factored) {
     SparseRow& lrow = lrows[i];
-    SparseRow& urow = urows[i];
+    SparseRow& upper = scratch.ustage;  // pooled staging for the U part
+    upper.clear();
     real diag = 0.0;
-    std::vector<std::pair<idx, real>> upper;
     for (const idx c : w.touched()) {
       if (c == i) {
         diag = w.value(c);
       } else if (is_factored(c)) {
         if (w.value(c) != 0.0) lrow.push(c, w.value(c));
       } else {
-        upper.emplace_back(c, w.value(c));
+        upper.push(c, w.value(c));
       }
     }
     diag = guarded_pivot(i, diag, opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0,
                          stats);
     udiag[i] = diag;
-    urow.push(i, diag);
-    for (const auto& [c, v] : upper) urow.push(c, v);
+    pilut_detail::emit_urow(urows[i], i, diag, upper);
     w.clear();
   };
 
@@ -171,18 +171,18 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
   std::vector<IdxVec> classes;  // color classes (global ids)
   {
     sim::ScopedPhase color_span(tr, "factor/color");
-    DistMisScratch scratch;
-    std::vector<IdxVec> still_active = active;
-    std::vector<std::vector<IdxVec>> still_adj = adj;
+    DistMisScratch mis_scratch;
+    // The residual graph lives directly in the DistGraph: each class strips
+    // its vertices in place instead of deep-copying the adjacency per color.
+    DistGraph graph;
+    graph.n_global = n;
+    graph.owner = &dist.owner;
+    graph.verts_of = active;  // active is still needed for the factor phases
+    graph.adj = std::move(adj);
     std::vector<std::uint8_t> colored(n, 0);
     while (remaining > 0) {
-      DistGraph graph;
-      graph.n_global = n;
-      graph.owner = &dist.owner;
-      graph.verts_of = still_active;
-      graph.adj = still_adj;
       const IdxVec cls = mis_dist(machine, graph,
-                                  {.seed = 97 + classes.size(), .rounds = 64}, &scratch);
+                                  {.seed = 97 + classes.size(), .rounds = 64}, &mis_scratch);
       PTILU_CHECK(!cls.empty(), "coloring stalled");
       for (const idx v : cls) colored[v] = 1;
       remaining -= static_cast<long long>(cls.size());
@@ -191,18 +191,18 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
       for (int r = 0; r < nranks; ++r) {
         IdxVec verts;
         std::vector<IdxVec> vadj;
-        for (std::size_t i = 0; i < still_active[r].size(); ++i) {
-          const idx v = still_active[r][i];
+        for (std::size_t i = 0; i < graph.verts_of[r].size(); ++i) {
+          const idx v = graph.verts_of[r][i];
           if (colored[v]) continue;
           IdxVec neighbors;
-          for (const idx u : still_adj[r][i]) {
+          for (const idx u : graph.adj[r][i]) {
             if (!colored[u]) neighbors.push_back(u);
           }
           verts.push_back(v);
           vadj.push_back(std::move(neighbors));
         }
-        still_active[r] = std::move(verts);
-        still_adj[r] = std::move(vadj);
+        graph.verts_of[r] = std::move(verts);
+        graph.adj[r] = std::move(vadj);
       }
     }
   }
@@ -260,11 +260,15 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
       }
     });
     machine.step([&](sim::RankContext& ctx) {
+      IdxVec requested, cols_payload;
+      RealVec vals_payload;
       for (const sim::Message& msg : ctx.recv_all()) {
         PTILU_CHECK(msg.tag == kTagUReq, "unexpected message in PILU0 exchange");
-        IdxVec cols_payload;
-        RealVec vals_payload;
-        for (const idx row : sim::decode_indices(msg)) {
+        requested.clear();
+        sim::decode_indices_append(msg, requested);
+        cols_payload.clear();
+        vals_payload.clear();
+        for (const idx row : requested) {
           const SparseRow& urow = urows[row];
           cols_payload.push_back(row);
           cols_payload.push_back(static_cast<idx>(urow.size()));
@@ -284,11 +288,9 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
       RealVec vals_payload;
       for (const sim::Message& msg : ctx.recv_all()) {
         if (msg.tag == kTagUCols) {
-          const IdxVec part = sim::decode_indices(msg);
-          cols_payload.insert(cols_payload.end(), part.begin(), part.end());
+          sim::decode_indices_append(msg, cols_payload);
         } else {
-          const RealVec part = sim::decode_reals(msg);
-          vals_payload.insert(vals_payload.end(), part.begin(), part.end());
+          sim::decode_reals_append(msg, vals_payload);
         }
       }
       std::size_t vpos = 0;

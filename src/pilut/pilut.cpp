@@ -2,9 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <queue>
-#include <unordered_map>
 
 #include "detail.hpp"
 #include "ptilu/dist/mis_dist.hpp"
@@ -58,10 +55,12 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
   sched.newnum.assign(n, -1);
 
   FactorState state(n);
-  WorkingRow w(n);  // scratch, reused across ranks (cleared between rows)
-  pilut_detail::run_interior_phase(machine, dist, opts, norms, state, w, sched, stats);
+  WorkingRow w(n);        // scratch, reused across ranks (cleared between rows)
+  FactorScratch scratch;  // pooled heap/staging/survivor buffers, likewise
+  pilut_detail::run_interior_phase(machine, dist, opts, norms, state, w, scratch,
+                                  sched, stats);
   pilut_detail::run_initial_reduction(machine, dist, opts, norms, tail_cap, state, w,
-                                      stats);
+                                      scratch, stats);
   idx next_num = sched.n_interior;
   // Dense per-level scratch arrays (active vertex sets are disjoint across
   // ranks, so sharing them is safe and avoids hash-map churn in the hot
@@ -69,6 +68,27 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
   IdxVec pos_dense(n, -1);              // active vertex -> position in owner's list
   std::vector<std::uint8_t> in_set(n, 0);  // membership stamp for the current I_l
   DistMisScratch mis_scratch;              // dense status arrays reused per level
+
+  // Per-level working structures, hoisted so their (nested) buffers keep
+  // their capacity across the hundreds of reduced-matrix levels instead of
+  // being reallocated from scratch each time. Ranks execute sequentially
+  // inside a superstep, so the per-peer staging buffers can be shared by
+  // all ranks as long as each rank leaves them empty (flushed after use).
+  DistGraph graph;  // adjacency + vertex lists of the reduced matrix
+  graph.n_global = n;
+  graph.owner = &dist.owner;
+  graph.verts_of.resize(nranks);
+  graph.adj.resize(nranks);
+  std::vector<IdxVec> reverse_out(nranks);  // setup: peer -> (target, source) pairs
+  std::vector<IdxVec> requests(nranks);     // exchange: peer -> requested U rows
+  // Received remote U rows, pooled: a dense row -> slot map plus a slab of
+  // reusable SparseRows (assign() keeps their capacity level over level).
+  IdxVec remote_slot(n, -1);
+  std::vector<SparseRow> remote_pool;
+  IdxVec remote_rows;  // rows whose remote_slot is currently set
+  IdxVec ucols_buf;    // reduce: concatenated U-row column payloads
+  RealVec uvals_buf;   // reduce: concatenated U-row value payloads
+  IdxVec elim_cols;    // reduce: this row's I_l columns
 
   // ================= Phase 2: iterative interface factorization ===========
   std::vector<IdxVec> active(nranks);  // per rank: unfactored interface rows
@@ -91,17 +111,17 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
     // Tail columns are exactly the unfactored interface vertices, so the
     // directed adjacency of vertex v is its tail pattern; reverse edges to
     // remote owners travel in one superstep (the "communication setup").
-    std::vector<std::vector<IdxVec>> adj(nranks);
+    std::vector<std::vector<IdxVec>>& adj = graph.adj;
     long long edges = 0;
     {
     sim::ScopedPhase span(tr, "setup");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
+      for (auto& neighbors : adj[r]) neighbors.clear();  // keep inner capacity
       adj[r].resize(active[r].size());
       for (std::size_t i = 0; i < active[r].size(); ++i) {
         pos_dense[active[r][i]] = static_cast<idx>(i);
       }
-      std::vector<IdxVec> reverse_out(nranks);  // peer -> flat (target, source) pairs
       std::uint64_t touched = 0;
       for (std::size_t i = 0; i < active[r].size(); ++i) {
         const idx v = active[r][i];
@@ -120,13 +140,18 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
       }
       ctx.charge_mem(touched * sizeof(idx));
       for (int peer = 0; peer < nranks; ++peer) {
-        if (!reverse_out[peer].empty()) ctx.send_indices(peer, 0, reverse_out[peer]);
+        if (!reverse_out[peer].empty()) {
+          ctx.send_indices(peer, 0, reverse_out[peer]);
+          reverse_out[peer].clear();
+        }
       }
     });
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
+      IdxVec pairs;
       for (const sim::Message& msg : ctx.recv_all()) {
-        const IdxVec pairs = sim::decode_indices(msg);
+        pairs.clear();
+        sim::decode_indices_append(msg, pairs);
         for (std::size_t p = 0; p < pairs.size(); p += 2) {
           adj[r][pos_dense[pairs[p]]].push_back(pairs[p + 1]);
         }
@@ -150,11 +175,9 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
       }
       std::sort(iset.begin(), iset.end());
     } else {
-      DistGraph graph;
-      graph.n_global = n;
-      graph.owner = &dist.owner;
-      graph.verts_of = active;
-      graph.adj = std::move(adj);
+      for (int r = 0; r < nranks; ++r) {
+        graph.verts_of[r].assign(active[r].begin(), active[r].end());
+      }
       iset = mis_dist(machine, graph,
                       {.seed = opts.seed + static_cast<std::uint64_t>(stats.levels),
                        .rounds = opts.mis_rounds},
@@ -187,22 +210,22 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
         if (!in_set[v]) continue;
         const real tau_v = opts.tau * norms[v];
         SparseRow& tail = state.tails[v];
-        SparseRow& urow = state.urows[v];
+        SparseRow& ustage = scratch.ustage;
+        ustage.clear();
         real diag = 0.0;
         for (std::size_t p = 0; p < tail.size(); ++p) {
           if (tail.cols[p] == v) {
             diag = tail.vals[p];
           } else {
-            urow.push(tail.cols[p], tail.vals[p]);
+            ustage.push(tail.cols[p], tail.vals[p]);
           }
         }
         flops += tail.size();
-        select_largest(urow, opts.m, tau_v);  // 2nd dropping rule (U side)
+        select_largest(ustage, opts.m, tau_v, -1, scratch.kept);  // 2nd dropping rule
         diag = guarded_pivot(v, diag,
                              opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[v] : 0.0, stats);
         state.udiag[v] = diag;
-        urow.cols.insert(urow.cols.begin(), v);
-        urow.vals.insert(urow.vals.begin(), diag);
+        pilut_detail::emit_urow(state.urows[v], v, diag, ustage);
         state.factored[v] = true;
         tail.clear();
       }
@@ -213,12 +236,10 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
     // --- Exchange the U rows that remote eliminations will need. Each rank
     // scans its remaining rows' tails for set members owned elsewhere,
     // requests those rows, and owners reply within the same superstep pair.
-    std::vector<std::unordered_map<idx, SparseRow>> remote_urows(nranks);
     {
     sim::ScopedPhase span(tr, "exchange");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
-      std::vector<IdxVec> requests(nranks);
       for (const idx i : active[r]) {
         if (in_set[i]) continue;
         for (const idx c : state.tails[i].cols) {
@@ -231,14 +252,20 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
         std::sort(rows.begin(), rows.end());
         rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
         ctx.send_indices(peer, kTagUReq, rows);
+        rows.clear();
       }
     });
     machine.step([&](sim::RankContext& ctx) {
+      IdxVec& requested = elim_cols;  // idle here; reused as decode scratch
+      IdxVec& cols_payload = ucols_buf;
+      RealVec& vals_payload = uvals_buf;
       for (const sim::Message& msg : ctx.recv_all()) {
         PTILU_CHECK(msg.tag == kTagUReq, "unexpected message during U exchange");
-        IdxVec cols_payload;
-        RealVec vals_payload;
-        for (const idx row : sim::decode_indices(msg)) {
+        requested.clear();
+        sim::decode_indices_append(msg, requested);
+        cols_payload.clear();
+        vals_payload.clear();
+        for (const idx row : requested) {
           const SparseRow& urow = state.urows[row];
           cols_payload.push_back(row);
           cols_payload.push_back(static_cast<idx>(urow.size()));
@@ -257,39 +284,44 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
     sim::ScopedPhase span(tr, "reduce");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
-      // Reassemble received rows.
-      IdxVec cols_payload;
-      RealVec vals_payload;
+      // Release the previous rank's remote-row bindings, then reassemble
+      // this rank's received rows into pooled slots.
+      for (const idx row : remote_rows) remote_slot[row] = -1;
+      remote_rows.clear();
+      IdxVec& cols_payload = ucols_buf;
+      RealVec& vals_payload = uvals_buf;
+      cols_payload.clear();
+      vals_payload.clear();
       for (const sim::Message& msg : ctx.recv_all()) {
         if (msg.tag == kTagUCols) {
-          const IdxVec part = sim::decode_indices(msg);
-          cols_payload.insert(cols_payload.end(), part.begin(), part.end());
+          sim::decode_indices_append(msg, cols_payload);
         } else {
           PTILU_CHECK(msg.tag == kTagUVals, "unexpected tag in U exchange");
-          const RealVec part = sim::decode_reals(msg);
-          vals_payload.insert(vals_payload.end(), part.begin(), part.end());
+          sim::decode_reals_append(msg, vals_payload);
         }
       }
       std::size_t vpos = 0;
       for (std::size_t p = 0; p < cols_payload.size();) {
         const idx row = cols_payload[p++];
         const idx len = cols_payload[p++];
-        SparseRow& urow = remote_urows[r][row];
+        const idx slot = static_cast<idx>(remote_rows.size());
+        if (static_cast<std::size_t>(slot) == remote_pool.size()) remote_pool.emplace_back();
+        SparseRow& urow = remote_pool[slot];
         urow.cols.assign(cols_payload.begin() + p, cols_payload.begin() + p + len);
         urow.vals.assign(vals_payload.begin() + vpos, vals_payload.begin() + vpos + len);
+        remote_slot[row] = slot;
+        remote_rows.push_back(row);
         p += len;
         vpos += len;
       }
 
       const auto urow_of = [&](idx k) -> const SparseRow& {
         if (dist.owner[k] == r) return state.urows[k];
-        const auto it = remote_urows[r].find(k);
-        PTILU_CHECK(it != remote_urows[r].end(), "missing remote U row " << k);
-        return it->second;
+        PTILU_CHECK(remote_slot[k] >= 0, "missing remote U row " << k);
+        return remote_pool[remote_slot[k]];
       };
 
       std::uint64_t flops = 0, copied = 0;
-      IdxVec elim_cols;
       for (const idx i : active[r]) {
         if (in_set[i]) continue;
         SparseRow& tail = state.tails[i];
@@ -317,7 +349,8 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
             continue;
           }
           w.set(k, multiplier);
-          flops += 2 * static_cast<std::uint64_t>(urow.size());
+          // Strictly-upper entries only — the loop starts at p = 1.
+          flops += 2 * static_cast<std::uint64_t>(urow.size() - 1);
           for (std::size_t p = 1; p < urow.size(); ++p) {
             const idx c = urow.cols[p];
             const real update = -multiplier * urow.vals[p];
@@ -333,14 +366,14 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
           const real v = w.value(k);
           if (v != 0.0) lrow.push(k, v);
         }
-        select_largest(lrow, opts.m, tau_i);
+        select_largest(lrow, opts.m, tau_i, -1, scratch.kept);
         // Rebuild the tail from the unfactored columns.
         tail.clear();
         for (const idx c : w.touched()) {
           if (in_set[c]) continue;
           tail.push(c, w.value(c));
         }
-        if (tail_cap > 0) select_largest(tail, tail_cap, 0.0, i);
+        if (tail_cap > 0) select_largest(tail, tail_cap, 0.0, i, scratch.kept);
         stats.max_reduced_row =
             std::max(stats.max_reduced_row, static_cast<nnz_t>(tail.size()));
         copied += tail.size() * (sizeof(idx) + sizeof(real));

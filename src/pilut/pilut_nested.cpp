@@ -44,9 +44,11 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
 
   FactorState state(n);
   WorkingRow w(n);
-  pilut_detail::run_interior_phase(machine, dist, opts, norms, state, w, sched, stats);
+  FactorScratch scratch;
+  pilut_detail::run_interior_phase(machine, dist, opts, norms, state, w, scratch,
+                                  sched, stats);
   pilut_detail::run_initial_reduction(machine, dist, opts, norms, tail_cap, state, w,
-                                      stats);
+                                      scratch, stats);
   idx next_num = sched.n_interior;
   sched.level_start.push_back(sched.n_interior);
 
@@ -75,7 +77,7 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
       const auto by_newnum = [&](idx x, idx y) {
         return sched.newnum[x] > sched.newnum[y];  // min-heap on new number
       };
-      using NewnumHeap = std::priority_queue<idx, std::vector<idx>, decltype(by_newnum)>;
+      using NewnumHeap = PooledHeap<decltype(by_newnum)>;
 
       // Pass 1: factor this host's stage-interior rows in ascending new
       // number (they may eliminate each other — a sequential local block).
@@ -87,34 +89,37 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
         const auto eliminatable = [&](idx c) {
           return stage_interior[c] && sched.newnum[c] < my_num;
         };
-        NewnumHeap heap(by_newnum);
+        NewnumHeap heap(scratch.heap, by_newnum);
         for (std::size_t p = 0; p < tail.size(); ++p) {
           w.insert(tail.cols[p], tail.vals[p]);
           if (eliminatable(tail.cols[p])) heap.push(tail.cols[p]);
         }
         flops += pilut_detail::eliminate_cascading(w, state, tau_i, heap, eliminatable);
 
-        SparseRow& lrow = state.lrows[i];
-        SparseRow& urow = state.urows[i];
+        SparseRow& lstage = scratch.lstage;
+        SparseRow& ustage = scratch.ustage;
+        lstage.clear();
+        ustage.clear();
         real diag = 0.0;
         for (const idx c : w.touched()) {
           const real v = w.value(c);
           if (c == i) {
             diag = v;
           } else if (eliminatable(c)) {
-            if (v != 0.0) lrow.push(c, v);  // multiplier -> L
+            if (v != 0.0) lstage.push(c, v);  // multiplier -> L
           } else {
-            urow.push(c, v);  // factored later (larger new number)
+            ustage.push(c, v);  // factored later (larger new number)
           }
         }
-        select_largest(lrow, opts.m, tau_i);
-        select_largest(urow, opts.m, tau_i);
+        select_largest(lstage, opts.m, tau_i, -1, scratch.kept);
+        select_largest(ustage, opts.m, tau_i, -1, scratch.kept);
         diag = guarded_pivot(i, diag,
                              opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0,
                              stats);
         state.udiag[i] = diag;
-        urow.cols.insert(urow.cols.begin(), i);
-        urow.vals.insert(urow.vals.begin(), diag);
+        state.lrows[i].cols = lstage.cols;
+        state.lrows[i].vals = lstage.vals;
+        pilut_detail::emit_urow(state.urows[i], i, diag, ustage);
         state.factored[i] = true;
         tail.clear();
         w.clear();
@@ -135,7 +140,7 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
         if (!touches_stage) continue;
         const real tau_i = opts.tau * norms[i];
         const auto eliminatable = [&](idx c) { return stage_interior[c] != 0; };
-        NewnumHeap heap(by_newnum);
+        NewnumHeap heap(scratch.heap, by_newnum);
         for (std::size_t p = 0; p < tail.size(); ++p) {
           w.insert(tail.cols[p], tail.vals[p]);
           if (eliminatable(tail.cols[p])) heap.push(tail.cols[p]);
@@ -146,12 +151,12 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
         for (const idx c : w.touched()) {
           if (eliminatable(c) && w.value(c) != 0.0) lrow.push(c, w.value(c));
         }
-        select_largest(lrow, opts.m, tau_i);  // 3rd dropping rule
+        select_largest(lrow, opts.m, tau_i, -1, scratch.kept);  // 3rd dropping rule
         tail.clear();
         for (const idx c : w.touched()) {
           if (!eliminatable(c)) tail.push(c, w.value(c));
         }
-        if (tail_cap > 0) select_largest(tail, tail_cap, 0.0, i);
+        if (tail_cap > 0) select_largest(tail, tail_cap, 0.0, i, scratch.kept);
         stats.max_reduced_row =
             std::max(stats.max_reduced_row, static_cast<nnz_t>(tail.size()));
         copied += tail.size() * (sizeof(idx) + sizeof(real));

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <utility>
 
 #include "ptilu/sim/trace.hpp"
 
@@ -19,11 +20,20 @@ std::vector<std::byte> encode(const std::vector<T>& data) {
 }
 
 template <typename T>
-std::vector<T> decode(const Message& m) {
+void decode_append(const Message& m, std::vector<T>& out) {
   PTILU_CHECK(m.payload.size() % sizeof(T) == 0,
               "payload size " << m.payload.size() << " not a multiple of element size");
-  std::vector<T> out(m.payload.size() / sizeof(T));
-  if (!out.empty()) std::memcpy(out.data(), m.payload.data(), m.payload.size());
+  const std::size_t count = m.payload.size() / sizeof(T);
+  if (count == 0) return;
+  const std::size_t old_size = out.size();
+  out.resize(old_size + count);
+  std::memcpy(out.data() + old_size, m.payload.data(), m.payload.size());
+}
+
+template <typename T>
+std::vector<T> decode(const Message& m) {
+  std::vector<T> out;
+  decode_append(m, out);
   return out;
 }
 
@@ -47,11 +57,15 @@ void RankContext::send_reals(int to, int tag, const RealVec& data) {
 }
 
 std::vector<Message> RankContext::recv_all() {
-  return std::move(machine_->inbox_[rank_]);
+  // std::exchange (not a bare move) so a second drain in the same superstep
+  // reads a well-defined empty inbox instead of a moved-from vector.
+  return std::exchange(machine_->inbox_[rank_], std::vector<Message>{});
 }
 
 IdxVec decode_indices(const Message& m) { return decode<idx>(m); }
 RealVec decode_reals(const Message& m) { return decode<real>(m); }
+void decode_indices_append(const Message& m, IdxVec& out) { decode_append(m, out); }
+void decode_reals_append(const Message& m, RealVec& out) { decode_append(m, out); }
 
 Machine::Machine(int nranks, MachineParams params)
     : nranks_(nranks),
@@ -108,7 +122,9 @@ void Machine::step(const std::function<void(RankContext&)>& body) {
   // Deliver posted messages for the next superstep. Receivers pay the
   // per-byte cost of draining their inbound traffic.
   for (int r = 0; r < nranks_; ++r) {
-    inbox_[r] = std::move(outbox_[r]);
+    // Swap rather than move-assign so the outbox inherits the drained
+    // inbox's capacity instead of reallocating from empty every superstep.
+    std::swap(inbox_[r], outbox_[r]);
     outbox_[r].clear();
     std::uint64_t inbound = 0;
     for (const Message& m : inbox_[r]) inbound += m.payload.size();
@@ -179,14 +195,23 @@ void Machine::collective(std::uint64_t payload_bytes) {
   const double cost =
       hops * (params_.alpha + static_cast<double>(payload_bytes) * params_.beta);
   const double horizon = *std::max_element(clock_.begin(), clock_.end()) + cost;
+  // Each rank participates in every stage of the log2(p) combining tree, so
+  // it is charged one message per hop — the same tree the time model prices
+  // above, and the same count the trace spans carry so counter-vs-trace
+  // reconciliation holds for collectives exactly as it does for sends.
+  const auto hop_msgs = static_cast<std::uint64_t>(hops);
   if (trace_ != nullptr) {
     for (int r = 0; r < nranks_; ++r) {
-      trace_->record(r, SpanKind::kAllreduce, clock_[r], horizon, 0, payload_bytes, 0);
+      trace_->record(r, SpanKind::kAllreduce, clock_[r], horizon, 0, payload_bytes,
+                     hop_msgs);
     }
     trace_->sync(horizon);
   }
   std::fill(clock_.begin(), clock_.end(), horizon);
-  for (auto& c : counters_) c.bytes_sent += payload_bytes;
+  for (auto& c : counters_) {
+    c.messages_sent += hop_msgs;
+    c.bytes_sent += payload_bytes;
+  }
   ++supersteps_;
 }
 

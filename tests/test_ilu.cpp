@@ -59,9 +59,43 @@ TEST(WorkingRow, InsertAccumulateClear) {
   EXPECT_DOUBLE_EQ(w.value(3), 2.0);
   EXPECT_EQ(w.touched().size(), 2u);
   w.clear();
+  // After clear() only presence is specified: value() is meaningful solely
+  // for present columns (the epoch stamp goes stale, values are not swept).
   EXPECT_FALSE(w.present(3));
-  EXPECT_DOUBLE_EQ(w.value(3), 0.0);
   EXPECT_TRUE(w.touched().empty());
+  // Re-inserting a previously-used column starts from the inserted value.
+  w.insert(3, 4.0);
+  EXPECT_TRUE(w.present(3));
+  EXPECT_DOUBLE_EQ(w.value(3), 4.0);
+}
+
+TEST(WorkingRow, StaleColumnsDoNotResurrectAcrossEpochWrap) {
+  // The presence stamp is a uint8 epoch: after exactly 255 clears the
+  // counter returns to its old value, and a column stamped back then would
+  // look present again unless the wrap bulk-invalidates stale stamps.
+  WorkingRow w(3);
+  w.insert(0, 42.0);
+  for (int k = 0; k < 255; ++k) w.clear();
+  EXPECT_FALSE(w.present(0));
+  EXPECT_TRUE(w.touched().empty());
+  w.insert(0, 1.0);
+  EXPECT_TRUE(w.present(0));
+  EXPECT_DOUBLE_EQ(w.value(0), 1.0);
+}
+
+TEST(WorkingRow, ManyGenerationsStayIndependent) {
+  // Drive the stamp through several full wraps; each generation must see a
+  // clean row regardless of what earlier generations touched.
+  WorkingRow w(4);
+  for (int gen = 0; gen < 3 * 255 + 7; ++gen) {
+    const idx c = static_cast<idx>(gen % 4);
+    EXPECT_FALSE(w.present(c)) << "generation " << gen;
+    w.insert(c, static_cast<real>(gen));
+    EXPECT_TRUE(w.present(c));
+    EXPECT_DOUBLE_EQ(w.value(c), static_cast<real>(gen));
+    EXPECT_EQ(w.touched().size(), 1u);
+    w.clear();
+  }
 }
 
 TEST(SelectLargest, KeepsLargestByMagnitude) {

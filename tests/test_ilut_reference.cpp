@@ -1,0 +1,188 @@
+// Property test pinning the optimized ILUT hot path to a straightforward
+// reference implementation of the same algorithm. The reference below has
+// the pre-optimization shape — fresh containers per row, a std::set for the
+// elimination frontier, a full sort for the 2nd dropping rule — and the
+// production ilut() must agree with it bit-for-bit: identical factor
+// structure, identical floating-point values, and an identical IlutStats
+// ledger. This is the regression net under the scratch-pooling work: any
+// optimization that changes arithmetic order or a dropping decision fails
+// here even if the factors are still "close".
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "ptilu/ilu/factors.hpp"
+#include "ptilu/ilu/ilut.hpp"
+#include "ptilu/support/rng.hpp"
+#include "ptilu/workloads/grids.hpp"
+
+namespace ptilu {
+namespace {
+
+using Entry = std::pair<idx, real>;
+
+// 2nd dropping rule, reference shape: threshold filter, full sort by
+// magnitude (column ascending on ties), truncate to m, re-sort by column.
+// Same strict total order as select_largest, so the kept set is identical.
+void reference_select(std::vector<Entry>& entries, idx m, real tau) {
+  std::vector<Entry> kept;
+  for (const Entry& e : entries) {
+    if (std::abs(e.second) >= tau) kept.push_back(e);
+  }
+  std::sort(kept.begin(), kept.end(), [](const Entry& a, const Entry& b) {
+    const real ma = std::abs(a.second), mb = std::abs(b.second);
+    if (ma != mb) return ma > mb;
+    return a.first < b.first;
+  });
+  if (static_cast<idx>(kept.size()) > m) kept.resize(static_cast<std::size_t>(m));
+  std::sort(kept.begin(), kept.end(),
+            [](const Entry& a, const Entry& b) { return a.first < b.first; });
+  entries = std::move(kept);
+}
+
+IluFactors reference_ilut(const Csr& a, const IlutOptions& opts, IlutStats& stats) {
+  const idx n = a.n_rows;
+  const RealVec norms = row_norms(a, 2);
+  // U rows store the sorted strictly-upper part; diagonals live in udiag.
+  std::vector<std::vector<Entry>> lrows(n), urows(n);
+  RealVec udiag(n, 0.0);
+
+  for (idx i = 0; i < n; ++i) {
+    const real tau_i = opts.tau * norms[i];
+    RealVec work(n, 0.0);
+    std::vector<bool> present(n, false);
+    IdxVec touched;
+    std::set<idx> frontier;  // lower columns still to eliminate, ascending
+    for (nnz_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const idx c = a.col_idx[k];
+      work[c] = a.values[k];
+      present[c] = true;
+      touched.push_back(c);
+      if (c < i) frontier.insert(c);
+    }
+    while (!frontier.empty()) {
+      const idx k = *frontier.begin();
+      frontier.erase(frontier.begin());
+      const real multiplier = work[k] / udiag[k];
+      ++stats.flops;
+      if (std::abs(multiplier) < tau_i) {  // 1st dropping rule
+        work[k] = 0.0;
+        ++stats.dropped_rule1;
+        continue;
+      }
+      work[k] = multiplier;
+      stats.flops += 2 * static_cast<std::uint64_t>(urows[k].size());
+      for (const Entry& e : urows[k]) {
+        const idx c = e.first;
+        const real update = -multiplier * e.second;
+        if (present[c]) {
+          work[c] += update;
+        } else {
+          work[c] = update;
+          present[c] = true;
+          touched.push_back(c);
+          if (c < i) frontier.insert(c);
+        }
+      }
+    }
+
+    std::vector<Entry> lpart, upart;
+    real diag = 0.0;
+    for (const idx c : touched) {
+      const real v = work[c];
+      if (c < i) {
+        if (v != 0.0) lpart.emplace_back(c, v);
+      } else if (c == i) {
+        diag = v;
+      } else {
+        upart.emplace_back(c, v);
+      }
+    }
+    const std::size_t before = lpart.size() + upart.size();
+    reference_select(lpart, opts.m, tau_i);
+    reference_select(upart, opts.m, tau_i);
+    stats.dropped_rule2 += before - (lpart.size() + upart.size());
+
+    const real floor_abs = opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0;
+    if (std::abs(diag) < floor_abs) {
+      ++stats.pivots_guarded;
+      diag = diag == 0.0 ? floor_abs : std::copysign(floor_abs, diag);
+    }
+    udiag[i] = diag;
+    lrows[i] = std::move(lpart);
+    urows[i] = std::move(upart);
+  }
+
+  std::vector<SparseRow> ls(static_cast<std::size_t>(n)), us(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) {
+    for (const Entry& e : lrows[i]) ls[i].push(e.first, e.second);
+    us[i].push(i, udiag[i]);  // diagonal first, then the sorted upper part
+    for (const Entry& e : urows[i]) us[i].push(e.first, e.second);
+  }
+  IluFactors f;
+  f.l = rows_to_csr(n, ls);
+  f.u = rows_to_csr(n, us);
+  return f;
+}
+
+void expect_bit_identical(const Csr& got, const Csr& want, const char* which) {
+  ASSERT_EQ(got.row_ptr, want.row_ptr) << which;
+  ASSERT_EQ(got.col_idx, want.col_idx) << which;
+  ASSERT_EQ(got.values.size(), want.values.size()) << which;
+  for (std::size_t k = 0; k < got.values.size(); ++k) {
+    // Exact equality, not a tolerance: the two paths must perform the same
+    // floating-point operations in the same order.
+    ASSERT_EQ(got.values[k], want.values[k]) << which << " value " << k;
+  }
+}
+
+void run_case(const Csr& a, const IlutOptions& opts) {
+  IlutStats ref_stats, opt_stats;
+  const IluFactors want = reference_ilut(a, opts, ref_stats);
+  const IluFactors got = ilut(a, opts, &opt_stats);
+  got.validate();
+  expect_bit_identical(got.l, want.l, "L");
+  expect_bit_identical(got.u, want.u, "U");
+  EXPECT_EQ(opt_stats.flops, ref_stats.flops);
+  EXPECT_EQ(opt_stats.dropped_rule1, ref_stats.dropped_rule1);
+  EXPECT_EQ(opt_stats.dropped_rule2, ref_stats.dropped_rule2);
+  EXPECT_EQ(opt_stats.pivots_guarded, ref_stats.pivots_guarded);
+}
+
+TEST(IlutReference, ConvectionDiffusionBitIdentical) {
+  run_case(workloads::convection_diffusion_2d(24, 24, 8.0, 4.0), {.m = 5, .tau = 1e-3});
+}
+
+TEST(IlutReference, JumpCoefficientsWithPivotGuard) {
+  run_case(workloads::jump_coefficient_2d(20, 20, 5.0, 4),
+           {.m = 8, .tau = 1e-2, .pivot_rel = 1e-12});
+}
+
+TEST(IlutReference, NoDroppingStressesFill) {
+  // tau = 0 with a generous cap keeps every fill entry: the heaviest
+  // exercise of the working row and the elimination frontier.
+  run_case(workloads::convection_diffusion_2d(16, 16, 2.0, 1.0), {.m = 64, .tau = 0.0});
+}
+
+TEST(IlutReference, RandomSparseMatrices) {
+  Rng rng(123);
+  for (int trial = 0; trial < 4; ++trial) {
+    const idx n = 60;
+    CooBuilder b(n, n);
+    for (idx i = 0; i < n; ++i) {
+      b.add(i, i, 15.0 + rng.next_double());
+      for (idx k = 0; k < 5; ++k) {
+        const idx j = rng.next_index(n);
+        if (j != i) b.add(i, j, rng.uniform(-1.0, 1.0));
+      }
+    }
+    run_case(b.to_csr(), {.m = 4 + trial, .tau = trial % 2 == 0 ? 1e-3 : 1e-1});
+  }
+}
+
+}  // namespace
+}  // namespace ptilu

@@ -30,12 +30,16 @@ TEST(Pilut, SingleRankMatchesSerialIlutExactly) {
   const DistCsr dist = make_dist(a, 1);
   sim::Machine machine(1);
   const PilutResult result = pilut_factor(machine, dist, {.m = 5, .tau = 1e-3});
-  const IluFactors serial = ilut(a, {.m = 5, .tau = 1e-3});
+  IlutStats serial_stats;
+  const IluFactors serial = ilut(a, {.m = 5, .tau = 1e-3}, &serial_stats);
   // One rank => no interface nodes, natural ordering, identical arithmetic.
   EXPECT_EQ(result.stats.interface_nodes, 0);
   EXPECT_EQ(result.stats.levels, 0);
   EXPECT_TRUE(equal(result.factors.l, serial.l));
   EXPECT_TRUE(equal(result.factors.u, serial.u));
+  // Same arithmetic must also mean the same flop ledger, so the simulated
+  // Mflop rates are comparable against the serial baseline.
+  EXPECT_EQ(result.stats.flops, serial_stats.flops);
 }
 
 TEST(Pilut, MatchesSerialIlutOnPermutedMatrix) {

@@ -179,6 +179,42 @@ TEST(Machine, CollectiveCostsGrowWithRanksAndBytes) {
   EXPECT_GT(big.modeled_time(), small.modeled_time());
 }
 
+TEST(Machine, CollectiveChargesTreeMessages) {
+  // The time model prices a log2(p) combining tree; the counters must
+  // charge the same tree: one message per hop per rank, plus the payload.
+  Machine m8(8);
+  m8.collective(100);
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(m8.counters(r).messages_sent, 3u);  // ceil(log2(8)) hops
+    EXPECT_EQ(m8.counters(r).bytes_sent, 100u);
+  }
+  Machine m1(1);
+  m1.collective(64);
+  EXPECT_EQ(m1.counters(0).messages_sent, 1u);  // degenerate tree: one hop
+  Machine m5(5);
+  m5.collective(0);
+  EXPECT_EQ(m5.counters(3).messages_sent, 3u);  // ceil(log2(5)) == 3
+}
+
+TEST(Machine, RecvAllSecondDrainSeesEmptyInbox) {
+  // recv_all moves the inbox out; a second drain in the same superstep (or
+  // any later one) must see a well-defined empty inbox, not a moved-from
+  // vector. Regression test for the std::exchange in recv_all.
+  Machine m(2);
+  m.step([](RankContext& ctx) {
+    if (ctx.rank() == 0) ctx.send_indices(1, 7, {1, 2, 3});
+  });
+  m.step([](RankContext& ctx) {
+    if (ctx.rank() != 1) return;
+    const auto first = ctx.recv_all();
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(decode_indices(first[0]), (IdxVec{1, 2, 3}));
+    const auto second = ctx.recv_all();
+    EXPECT_TRUE(second.empty());
+  });
+  m.step([](RankContext& ctx) { EXPECT_TRUE(ctx.recv_all().empty()); });
+}
+
 TEST(Machine, ChargeTransferAccountsBothSides) {
   Machine m(3);
   m.charge_transfer(0, 2, 8000);

@@ -99,6 +99,31 @@ TEST(Trace, SendRecvCountersMatchMachine) {
   EXPECT_EQ(root->bytes_recv, totals.bytes_sent);  // everything sent is drained
 }
 
+TEST(Trace, CollectiveCountersMatchMachine) {
+  // collective() must keep the counter/trace ledgers reconciled just like
+  // point-to-point traffic: the kAllreduce spans carry the same per-hop
+  // message count and payload bytes the rank counters charge.
+  Trace trace;
+  Machine machine(4);
+  machine.attach_trace(&trace);
+  machine.step([](RankContext& ctx) {
+    if (ctx.rank() == 0) ctx.send_indices(2, 0, {5, 6});
+  });
+  machine.step([](RankContext& ctx) { (void)ctx.recv_all(); });
+  machine.collective(256);
+  machine.collective(0);
+  machine.attach_trace(nullptr);
+
+  const auto rows = trace.phase_rollup();
+  const PhaseStats* root = find_phase(rows, "(untagged)");
+  ASSERT_NE(root, nullptr);
+  const auto totals = machine.total_counters();
+  // 1 point-to-point send + 2 hops/rank/collective on 4 ranks x 2 collectives.
+  EXPECT_EQ(totals.messages_sent, 1u + 4u * 2u * 2u);
+  EXPECT_EQ(root->messages, totals.messages_sent);
+  EXPECT_EQ(root->bytes_sent, totals.bytes_sent);
+}
+
 TEST(Trace, CoalescesAdjacentComputeSpans) {
   Trace trace;
   Machine machine(1);
