@@ -1,0 +1,158 @@
+// SPMD conformance checking for the simulated machine.
+//
+// The parallel algorithms in this library are SPMD programs over explicit
+// per-rank message queues, and the bug class that actually bites them is
+// protocol divergence: a rank that drains its inbox twice in one superstep
+// (losing messages), a send whose receiver never picks it up, a collective
+// whose per-rank fingerprints disagree, a driver that returns while a peer
+// still holds undelivered traffic. These are invisible to the cost model —
+// modeled time stays plausible while the computation silently diverges.
+//
+// A Conformance checker attached to a sim::Machine (Machine::Options::check,
+// or the PTILU_CHECK environment variable) observes every protocol action
+// and verifies, at each superstep barrier and at explicit quiescence points:
+//
+//   * collective conformance — every collective is fingerprinted per rank
+//     (op kind, superstep index, payload byte count, call site) and all
+//     ranks must declare identical fingerprint sequences between barriers;
+//     the first divergent rank and both call sites are reported;
+//   * message lifecycles — sends to out-of-range ranks, inboxes drained
+//     twice in one superstep (the moved-from/double-drain bug), messages
+//     delivered but never received before the next delivery overwrites
+//     them (silent loss), and messages still queued at a quiescence check
+//     (orphaned sends / a rank finalizing while peers hold traffic);
+//   * on any violation, a per-rank protocol transcript (the last N events
+//     of every rank: sends, drains, collectives, transfers) is dumped into
+//     the thrown ptilu::Error so the divergence can be read off directly.
+//
+// The checker is pure observation: it charges no modeled time and posts no
+// messages, so a checked run's modeled output is bit-identical to an
+// unchecked one. With checking off every hook is a single null-pointer
+// test. See docs/STATIC_ANALYSIS.md for semantics and a worked failure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ptilu/sim/machine.hpp"
+
+namespace ptilu::sim {
+
+/// Kinds of per-rank protocol events kept in the conformance transcript.
+enum class EventKind : std::uint8_t {
+  kSend = 0,        ///< message posted to a peer's next-superstep inbox
+  kDrain = 1,       ///< recv_all emptied the rank's inbox
+  kCollective = 2,  ///< collective participation declared (see CollectiveOp)
+  kTransferOut = 3, ///< charge_transfer, sending side
+  kTransferIn = 4,  ///< charge_transfer, receiving side
+  kQuiescence = 5,  ///< explicit quiescence check passed through this rank
+  kReset = 6,       ///< Machine::reset dropped all in-flight state
+};
+
+/// Short lowercase name ("send", "drain", ...).
+const char* event_kind_name(EventKind kind);
+
+/// One entry of a rank's protocol transcript.
+struct ProtocolEvent {
+  std::uint64_t superstep = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t count = 0;   ///< messages posted/drained (1 for sends)
+  std::uint32_t site = 0;    ///< interned call-site tag
+  int peer = -1;             ///< destination/source rank, -1 when n/a
+  int tag = 0;               ///< message tag (sends only)
+  EventKind kind = EventKind::kSend;
+  CollectiveOp op = CollectiveOp::kBarrier;  ///< for kCollective events
+};
+
+class Conformance {
+ public:
+  Conformance(int nranks, std::size_t transcript_tail);
+
+  // ---- Hooks (called by Machine / RankContext; not for direct use) ----
+  /// A superstep (or collective superstep) begins: events recorded until the
+  /// next barrier are attributed to `site`.
+  void on_step_begin(std::uint64_t superstep, std::string_view site);
+  /// Rank `from` posted a message. Throws on an out-of-range destination.
+  void on_send(int from, int to, int tag, std::uint64_t bytes);
+  /// Rank `rank` drained its inbox. Throws on a second drain in the same
+  /// superstep (the moved-from-inbox bug class).
+  void on_recv_all(int rank);
+  /// Rank `rank` declares participation in a collective. All ranks must
+  /// declare identical (op, bytes, site) sequences between barriers.
+  void declare_collective(int rank, CollectiveOp op, std::uint64_t bytes,
+                          std::string_view site);
+  /// A barrier ends the superstep: verify collective conformance, flag
+  /// undrained inboxes about to be overwritten, then deliver posted
+  /// message metadata for the next superstep.
+  void on_barrier(std::uint64_t superstep);
+  /// Point-to-point transfer accounting (no queue lifecycle). Throws on
+  /// out-of-range ranks.
+  void on_transfer(int from, int to, std::uint64_t bytes, std::string_view site);
+  /// Explicit end-of-run / end-of-phase quiescence check: every queue must
+  /// be empty, otherwise the orphaned traffic is reported rank by rank.
+  void on_quiescent(std::string_view site);
+  /// Machine::reset dropped all in-flight state; mirror it.
+  void on_reset();
+
+  // ---- Introspection (used by tests and failure reporting) ----
+  int nranks() const { return nranks_; }
+  /// Total number of violations detected (each one also throws, so this is
+  /// only observable >0 when the Error was caught and the machine reused).
+  std::uint64_t violations() const { return violations_; }
+  /// The full per-rank transcript dump used in failure reports.
+  std::string transcript() const;
+
+ private:
+  /// Collective fingerprint: what one rank claims the next collective is.
+  struct Fingerprint {
+    CollectiveOp op = CollectiveOp::kBarrier;
+    std::uint64_t bytes = 0;
+    std::uint32_t site = 0;
+    bool operator==(const Fingerprint&) const = default;
+  };
+  /// Metadata mirror of one queued Message.
+  struct MessageMeta {
+    std::uint64_t superstep = 0;  ///< superstep the send was posted in
+    std::uint64_t bytes = 0;
+    std::uint32_t site = 0;
+    int from = 0;
+    int tag = 0;
+  };
+
+  /// Transparent hash so interning a string_view site tag never allocates
+  /// on the (common) already-seen path.
+  struct SiteHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::uint32_t intern(std::string_view site);
+  const std::string& site_name(std::uint32_t id) const { return sites_[id]; }
+  void record(int rank, ProtocolEvent event);
+  [[noreturn]] void fail(const std::string& summary);
+  std::string describe(const Fingerprint& fp) const;
+  std::string describe(const MessageMeta& meta, int to) const;
+
+  int nranks_;
+  std::size_t tail_;
+  std::vector<std::string> sites_;  // id -> tag ("" = untagged)
+  std::unordered_map<std::string, std::uint32_t, SiteHash, std::equal_to<>> site_ids_;
+  std::uint32_t step_site_ = 0;     // site of the superstep in progress
+  std::uint64_t superstep_ = 0;     // index of the superstep in progress
+  std::vector<std::vector<Fingerprint>> pending_;    // per rank, this superstep
+  std::vector<std::vector<MessageMeta>> outbox_;     // per destination rank
+  std::vector<std::vector<MessageMeta>> inbox_;      // delivered, undrained
+  std::vector<std::uint8_t> drained_;                // per rank, this superstep
+  std::vector<std::vector<ProtocolEvent>> events_;   // per-rank transcript ring
+  std::vector<std::size_t> events_next_;             // ring cursor per rank
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace ptilu::sim

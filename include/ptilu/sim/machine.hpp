@@ -26,7 +26,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ptilu/support/check.hpp"
@@ -35,6 +37,28 @@
 namespace ptilu::sim {
 
 class Trace;
+class Conformance;
+
+/// Operation kind of a fingerprinted collective (SPMD conformance checking;
+/// see conformance.hpp). All ranks must declare the same op/bytes/site
+/// sequence between any two barriers.
+enum class CollectiveOp : std::uint8_t {
+  kBarrier = 0,    ///< plain superstep barrier (implicit, never declared)
+  kSum = 1,        ///< allreduce_sum
+  kMax = 2,        ///< allreduce_max
+  kSumLL = 3,      ///< allreduce_sum_ll
+  kExchange = 4,   ///< Machine::collective data exchange
+  kUser = 5,       ///< SPMD code's own RankContext::declare_collective
+};
+
+/// Short lowercase name ("sum", "exchange", ...).
+const char* collective_op_name(CollectiveOp op);
+
+/// True when the PTILU_CHECK environment variable requests conformance
+/// checking ("1", "on", "true", "yes", case-insensitive). This is the
+/// default for Machine::Options::check, so existing benchmarks and tests
+/// can be re-run checked without rebuilding.
+bool conformance_enabled_by_env() noexcept;
 
 /// Cost-model parameters, all in seconds. The defaults approximate one node
 /// of the paper's 128-processor Cray T3D (150 MHz DEC Alpha EV4, 3-D torus
@@ -110,7 +134,20 @@ class RankContext {
   /// All messages delivered to this rank this superstep. The inbox is moved
   /// out and replaced by a fresh empty vector, so a second call in the same
   /// superstep sees a well-defined empty inbox rather than a moved-from one.
+  /// Under conformance checking a second drain is reported as a protocol
+  /// violation — PR 2's recv_all double-drain bug lost messages exactly
+  /// this way, and code that compiles against the well-defined-empty
+  /// fallback is almost always wrong.
   std::vector<Message> recv_all();
+
+  /// Declare participation in a logical collective from SPMD step code.
+  /// Purely an annotation for the conformance checker (no modeled cost, a
+  /// no-op when checking is off): all ranks must declare identical
+  /// (op, bytes, site) sequences within a superstep, so rank-dependent
+  /// control flow that skips or reshapes a collective is caught at the
+  /// next barrier with both call sites named.
+  void declare_collective(CollectiveOp op, std::uint64_t bytes,
+                          std::string_view site = {});
 
  private:
   friend class Machine;
@@ -131,7 +168,22 @@ void decode_reals_append(const Message& m, RealVec& out);
 
 class Machine {
  public:
+  /// Construction options. `params` is the cost model; `check` enables the
+  /// SPMD conformance checker (conformance.hpp) — default off so modeled
+  /// output stays bit-identical, overridable per process with the
+  /// PTILU_CHECK environment variable; `transcript_tail` bounds the
+  /// per-rank protocol transcript dumped when a violation is reported.
+  struct Options {
+    MachineParams params = MachineParams::cray_t3d();
+    bool check = conformance_enabled_by_env();
+    std::size_t transcript_tail = 16;
+  };
+
   Machine(int nranks, MachineParams params = MachineParams::cray_t3d());
+  Machine(int nranks, const Options& options);
+  ~Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
 
   int nranks() const { return nranks_; }
   const MachineParams& params() const { return params_; }
@@ -139,20 +191,28 @@ class Machine {
   /// Execute one superstep: the body runs once per rank (deterministically,
   /// rank 0 first), then all posted messages are delivered and a barrier
   /// synchronizes the modeled clocks (max over ranks plus a log2(p)
-  /// latency-tree cost).
-  void step(const std::function<void(RankContext&)>& body);
+  /// latency-tree cost). `site` tags the superstep for conformance
+  /// transcripts and violation reports; it costs nothing when checking is
+  /// off and should name the protocol action ("pilut/exchange/request").
+  void step(const std::function<void(RankContext&)>& body,
+            std::string_view site = {});
 
   /// Convenience collectives (each is one superstep of modeled time):
   /// every rank contributes a value, all receive the combined result.
-  double allreduce_sum(const std::function<double(int)>& value_of_rank);
-  double allreduce_max(const std::function<double(int)>& value_of_rank);
-  long long allreduce_sum_ll(const std::function<long long(int)>& value_of_rank);
+  /// Under conformance checking each is fingerprinted per rank.
+  double allreduce_sum(const std::function<double(int)>& value_of_rank,
+                       std::string_view site = {});
+  double allreduce_max(const std::function<double(int)>& value_of_rank,
+                       std::string_view site = {});
+  long long allreduce_sum_ll(const std::function<long long(int)>& value_of_rank,
+                             std::string_view site = {});
 
   /// Account a point-to-point transfer without materializing a payload
   /// (used for bulk data migration where the bytes stay in shared storage):
   /// the sender pays latency plus per-byte cost, the receiver the per-byte
   /// drain cost.
-  void charge_transfer(int from, int to, std::uint64_t bytes);
+  void charge_transfer(int from, int to, std::uint64_t bytes,
+                       std::string_view site = {});
 
   /// Charge a collective data exchange (allgather/alltoall-style): all
   /// clocks advance to the max plus a log2(p) tree of (alpha + bytes*beta),
@@ -160,7 +220,20 @@ class Machine {
   /// payload bytes — consistent with the time model and with the trace
   /// spans, so counter/trace reconciliation covers collectives too.
   /// Counts as one superstep.
-  void collective(std::uint64_t payload_bytes);
+  void collective(std::uint64_t payload_bytes, std::string_view site = {});
+
+  /// Assert protocol quiescence: no queued message anywhere (posted but
+  /// undelivered, or delivered but undrained). Drivers call this when an
+  /// algorithm finishes so a rank cannot return while peers still hold its
+  /// traffic — the stall/orphan class of SPMD bugs. A no-op when
+  /// conformance checking is off; under checking a violation throws
+  /// ptilu::Error with the orphaned messages and per-rank transcripts.
+  void check_quiescent(std::string_view site = {});
+
+  /// True when the SPMD conformance checker is attached.
+  bool checking() const { return checker_ != nullptr; }
+  /// The attached checker, or nullptr (introspection for tests/tools).
+  const Conformance* checker() const { return checker_.get(); }
 
   /// Modeled elapsed time so far (seconds) — max over rank clocks.
   double modeled_time() const;
@@ -203,6 +276,7 @@ class Machine {
   std::uint64_t supersteps_ = 0;
   Trace* trace_ = nullptr;
   bool in_allreduce_ = false;  // tags the enclosing step's barrier spans
+  std::unique_ptr<Conformance> checker_;  // SPMD conformance; null = off
 };
 
 }  // namespace ptilu::sim

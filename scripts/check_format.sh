@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Diff-only format check: verifies that *changed* lines satisfy .clang-format
+# without ever touching (or judging) untouched code, so the repo never needs
+# a bulk reformat. Skips gracefully (exit 0) when the tooling is missing.
+#
+# Usage: scripts/check_format.sh [BASE_REF]   (default: origin/main, falling
+#        back to HEAD~1)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FORMAT_BIN="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$FORMAT_BIN" >/dev/null 2>&1; then
+  echo "check_format.sh: $FORMAT_BIN not found; skipping format check." >&2
+  exit 0
+fi
+
+# clang-format-diff.py ships with LLVM under various names; find one.
+DIFF_TOOL=""
+for candidate in clang-format-diff clang-format-diff.py clang-format-diff-15 \
+                 clang-format-diff-16 clang-format-diff-17 clang-format-diff-18; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    DIFF_TOOL="$candidate"
+    break
+  fi
+done
+
+BASE_REF="${1:-}"
+if [[ -z "$BASE_REF" ]]; then
+  if git rev-parse --verify -q origin/main >/dev/null; then
+    BASE_REF="origin/main"
+  else
+    BASE_REF="HEAD~1"
+  fi
+fi
+
+if [[ -n "$DIFF_TOOL" ]]; then
+  OUT=$(git diff -U0 --no-color "$BASE_REF" -- '*.cpp' '*.hpp' \
+        | "$DIFF_TOOL" -p1 -binary "$FORMAT_BIN") || true
+  if [[ -n "$OUT" ]]; then
+    echo "check_format.sh: changed lines deviate from .clang-format:" >&2
+    echo "$OUT"
+    exit 1
+  fi
+  echo "check_format.sh: changed lines are clean."
+  exit 0
+fi
+
+# Fallback without clang-format-diff: full-file dry run restricted to files
+# the diff touches. Noisier than line-level checking but still diff-scoped.
+mapfile -t FILES < <(git diff --name-only --diff-filter=d "$BASE_REF" -- \
+  '*.cpp' '*.hpp')
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "check_format.sh: no C++ changes to check."
+  exit 0
+fi
+STATUS=0
+for f in "${FILES[@]}"; do
+  [[ -f "$f" ]] || continue
+  if ! "$FORMAT_BIN" --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "check_format.sh: $f deviates from .clang-format (file-level check)" >&2
+    STATUS=1
+  fi
+done
+exit $STATUS

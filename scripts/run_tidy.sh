@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the project sources using the exported compilation
+# database. Skips gracefully (exit 0) when clang-tidy is not installed so
+# the script is safe to wire into environments without LLVM tooling.
+#
+# Usage:
+#   scripts/run_tidy.sh [--build-dir DIR] [--changed [BASE_REF]] [files...]
+#
+#   --build-dir DIR   build tree holding compile_commands.json (default:
+#                     first of build, build/release, build/asan-ubsan that
+#                     has one)
+#   --changed [REF]   only lint .cpp files changed vs REF (default: origin/main,
+#                     falling back to HEAD~1)
+#   files...          explicit files to lint (overrides --changed)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY_BIN="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY_BIN" >/dev/null 2>&1; then
+  echo "run_tidy.sh: $TIDY_BIN not found; skipping lint (install clang-tidy to enable)." >&2
+  exit 0
+fi
+
+BUILD_DIR=""
+MODE="all"
+BASE_REF=""
+FILES=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir)
+      BUILD_DIR="$2"
+      shift 2
+      ;;
+    --changed)
+      MODE="changed"
+      shift
+      if [[ $# -gt 0 && "$1" != --* ]]; then
+        BASE_REF="$1"
+        shift
+      fi
+      ;;
+    *)
+      FILES+=("$1")
+      shift
+      ;;
+  esac
+done
+
+if [[ -z "$BUILD_DIR" ]]; then
+  for candidate in build build/release build/asan-ubsan; do
+    if [[ -f "$candidate/compile_commands.json" ]]; then
+      BUILD_DIR="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$BUILD_DIR" || ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "run_tidy.sh: no compile_commands.json found; configure with cmake first" >&2
+  echo "(CMAKE_EXPORT_COMPILE_COMMANDS defaults to ON, e.g.: cmake --preset release)" >&2
+  exit 1
+fi
+
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  if [[ "$MODE" == "changed" ]]; then
+    if [[ -z "$BASE_REF" ]]; then
+      if git rev-parse --verify -q origin/main >/dev/null; then
+        BASE_REF="origin/main"
+      else
+        BASE_REF="HEAD~1"
+      fi
+    fi
+    mapfile -t FILES < <(git diff --name-only --diff-filter=d "$BASE_REF" -- \
+      'src/**/*.cpp' 'tests/*.cpp' 'bench/*.cpp' 'examples/*.cpp')
+  else
+    mapfile -t FILES < <(git ls-files 'src/**/*.cpp' 'tests/*.cpp' 'bench/*.cpp' \
+      'examples/*.cpp')
+  fi
+fi
+
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "run_tidy.sh: nothing to lint."
+  exit 0
+fi
+
+echo "run_tidy.sh: linting ${#FILES[@]} file(s) against $BUILD_DIR/compile_commands.json"
+STATUS=0
+for f in "${FILES[@]}"; do
+  [[ -f "$f" ]] || continue
+  "$TIDY_BIN" -p "$BUILD_DIR" --quiet "$f" || STATUS=1
+done
+exit $STATUS

@@ -95,20 +95,23 @@ void dist_spmv(sim::Machine& machine, const DistCsr& dist, const Halo& halo,
   // Superstep 1: ship boundary values.
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
+    RealVec values;
     for (const auto& [peer, indices] : halo.send_lists[r]) {
-      RealVec values(indices.size());
+      values.resize(indices.size());
       for (std::size_t i = 0; i < indices.size(); ++i) values[i] = x[indices[i]];
       ctx.charge_mem(values.size() * sizeof(real));
       ctx.send_reals(peer, /*tag=*/0, values);
     }
-  });
+  }, "spmv/halo_send");
 
   // Superstep 2: receive ghosts, compute owned rows.
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
     std::unordered_map<idx, real> ghost;
+    RealVec values;
     for (const sim::Message& msg : ctx.recv_all()) {
-      const RealVec values = sim::decode_reals(msg);
+      values.clear();
+      sim::decode_reals_append(msg, values);
       // Find the matching recv list for this peer.
       const auto it = std::find_if(halo.recv_lists[r].begin(), halo.recv_lists[r].end(),
                                    [&](const auto& entry) { return entry.first == msg.from; });
@@ -128,7 +131,8 @@ void dist_spmv(sim::Machine& machine, const DistCsr& dist, const Halo& halo,
       y[row] = acc;
     }
     ctx.charge_flops(flops);
-  });
+  }, "spmv/compute");
+  machine.check_quiescent("spmv/end");
 }
 
 }  // namespace ptilu

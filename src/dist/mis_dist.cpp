@@ -111,7 +111,7 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
       pstart.push_back(static_cast<idx>(plist.size()));
     }
     ctx.charge_mem(scanned * sizeof(idx));
-  });
+  }, "mis/setup");
   }
 
   // Per-rank outgoing update batches, dense by peer (pooled in the scratch,
@@ -226,15 +226,16 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
       }
       for (const idx v : verts) candidates_left += status[v] == kCandidate;
       flush_batches(ctx, r);
-    });
+    }, "mis/round");
   }
   }
 
   // Drain pending updates so the machine's queues are clean for the caller.
   {
     sim::ScopedPhase span(tr, "drain");
-    machine.step([&](sim::RankContext& ctx) { (void)ctx.recv_all(); });
+    machine.step([&](sim::RankContext& ctx) { (void)ctx.recv_all(); }, "mis/drain");
   }
+  machine.check_quiescent("mis/end");
 
   IdxVec result;
   for (int r = 0; r < nranks; ++r) {

@@ -24,8 +24,9 @@ class DistBlas {
       real partial = 0.0;
       for (const idx i : dist_->owned_rows[ctx.rank()]) partial += x[i] * y[i];
       ctx.charge_flops(2 * dist_->owned_rows[ctx.rank()].size());
+      ctx.declare_collective(sim::CollectiveOp::kSum, sizeof(real), "gmres/dot");
       total += partial;
-    });
+    }, "gmres/dot");
     return total;
   }
 
@@ -34,14 +35,14 @@ class DistBlas {
     machine_->step([&](sim::RankContext& ctx) {
       for (const idx i : dist_->owned_rows[ctx.rank()]) y[i] += alpha * x[i];
       ctx.charge_flops(2 * dist_->owned_rows[ctx.rank()].size());
-    });
+    }, "gmres/axpy");
   }
 
   void scale_into(real alpha, const RealVec& x, RealVec& out) const {
     machine_->step([&](sim::RankContext& ctx) {
       for (const idx i : dist_->owned_rows[ctx.rank()]) out[i] = alpha * x[i];
       ctx.charge_flops(dist_->owned_rows[ctx.rank()].size());
-    });
+    }, "gmres/scale");
   }
 
   real norm2(const RealVec& x) const { return std::sqrt(dot(x, x)); }
@@ -88,12 +89,12 @@ GmresResult gmres_dist(sim::Machine& machine, const DistCsr& dist, const Halo& h
       }
       ctx.charge_flops(dist.owned_rows[rank].size());
       ctx.charge_mem(dist.owned_rows[rank].size() * sizeof(real));
-    });
+    }, "gmres/residual/scatter");
     solver.apply(machine, permuted, solved);
     machine.step([&](sim::RankContext& ctx) {
       for (const idx i : dist.owned_rows[ctx.rank()]) r[i] = solved[newnum[i]];
       ctx.charge_mem(dist.owned_rows[ctx.rank()].size() * sizeof(real));
-    });
+    }, "gmres/residual/gather");
   };
 
   compute_residual();
@@ -133,12 +134,12 @@ GmresResult gmres_dist(sim::Machine& machine, const DistCsr& dist, const Halo& h
         machine.step([&](sim::RankContext& ctx) {
           for (const idx i : dist.owned_rows[ctx.rank()]) permuted[newnum[i]] = ax[i];
           ctx.charge_mem(dist.owned_rows[ctx.rank()].size() * sizeof(real));
-        });
+        }, "gmres/precond/scatter");
         solver.apply(machine, permuted, solved);
         machine.step([&](sim::RankContext& ctx) {
           for (const idx i : dist.owned_rows[ctx.rank()]) w[i] = solved[newnum[i]];
           ctx.charge_mem(dist.owned_rows[ctx.rank()].size() * sizeof(real));
-        });
+        }, "gmres/precond/gather");
       }
 
       // Modified Gram-Schmidt: each projection is one allreduce (the dot)
@@ -201,7 +202,7 @@ GmresResult gmres_dist(sim::Machine& machine, const DistCsr& dist, const Halo& h
           x[i] = acc;
         }
         ctx.charge_flops(2 * dist.owned_rows[rank].size() * static_cast<std::uint64_t>(steps));
-      });
+      }, "gmres/update");
     }
     ++result.restarts;
 
@@ -214,6 +215,7 @@ GmresResult gmres_dist(sim::Machine& machine, const DistCsr& dist, const Halo& h
       }
     }
   }
+  machine.check_quiescent("gmres/end");
   return result;
 }
 

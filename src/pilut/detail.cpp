@@ -102,7 +102,7 @@ void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
       w.clear();
     }
     ctx.charge_flops(flops);
-  });
+  }, "pilut/interior");
   stats.time_interior = machine.modeled_time();
 }
 
@@ -152,7 +152,7 @@ void run_initial_reduction(sim::Machine& machine, const DistCsr& dist,
     }
     ctx.charge_flops(flops);
     ctx.charge_mem(copied);
-  });
+  }, "pilut/form_reduced");
 }
 
 void finish_stats(const sim::Machine& machine, PilutStats& stats) {

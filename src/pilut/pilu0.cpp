@@ -126,7 +126,7 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
       split_row(i, [&](idx c) { return c < i && !dist.interface[c]; });
     }
     ctx.charge_flops(flops);
-  });
+  }, "pilu0/interior");
   }
   stats.time_interior = machine.modeled_time();
 
@@ -165,7 +165,7 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
       }
     }
     ctx.charge_mem(scanned * sizeof(idx));
-  });
+  }, "pilu0/color/setup");
   }
 
   std::vector<IdxVec> classes;  // color classes (global ids)
@@ -220,7 +220,7 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
     }
     sched.level_start.push_back(next_num);
     machine.collective(static_cast<std::uint64_t>(cls.size()) * sizeof(idx) / nranks +
-                       sizeof(idx));
+                       sizeof(idx), "pilu0/number");
   }
   }
   PTILU_CHECK(next_num == n, "coloring did not cover all interface rows");
@@ -258,7 +258,7 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
         rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
         ctx.send_indices(peer, kTagUReq, rows);
       }
-    });
+    }, "pilu0/exchange/request");
     machine.step([&](sim::RankContext& ctx) {
       IdxVec requested, cols_payload;
       RealVec vals_payload;
@@ -278,7 +278,7 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
         ctx.send_indices(msg.from, kTagUCols, cols_payload);
         ctx.send_reals(msg.from, kTagUVals, vals_payload);
       }
-    });
+    }, "pilu0/exchange/reply");
     }
     {
     sim::ScopedPhase span(tr, "factor");
@@ -331,10 +331,11 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
         });
       }
       ctx.charge_flops(flops);
-    });
+    }, "pilu0/factor_class");
     }
     for (const idx v : cls) factored_interface[v] = 1;
   }
+  machine.check_quiescent("pilu0/end");
 
   stats.time_interface = machine.modeled_time() - stats.time_interior;
   stats.time_total = machine.modeled_time();

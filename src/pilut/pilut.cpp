@@ -145,7 +145,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
           reverse_out[peer].clear();
         }
       }
-    });
+    }, "pilut/setup/reverse_edges");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
       IdxVec pairs;
@@ -163,7 +163,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
         local_edges += static_cast<long long>(neighbors.size());
       }
       edges += local_edges;  // accumulated across ranks: acts as allreduce input
-    });
+    }, "pilut/setup/apply_reverse");
     }
 
     // --- Choose the independent set I_l.
@@ -196,7 +196,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
     {
       sim::ScopedPhase span(tr, "number");
       machine.collective(static_cast<std::uint64_t>(iset.size()) * sizeof(idx) / nranks +
-                         sizeof(idx));
+                         sizeof(idx), "pilut/number");
     }
 
     // --- Factor the rows of I_l (only U rows are created; the paper's
@@ -230,7 +230,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
         tail.clear();
       }
       ctx.charge_flops(flops);
-    });
+    }, "pilut/factor_set");
     }
 
     // --- Exchange the U rows that remote eliminations will need. Each rank
@@ -254,7 +254,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
         ctx.send_indices(peer, kTagUReq, rows);
         rows.clear();
       }
-    });
+    }, "pilut/exchange/request");
     machine.step([&](sim::RankContext& ctx) {
       IdxVec& requested = elim_cols;  // idle here; reused as decode scratch
       IdxVec& cols_payload = ucols_buf;
@@ -275,7 +275,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
         ctx.send_indices(msg.from, kTagUCols, cols_payload);
         ctx.send_reals(msg.from, kTagUVals, vals_payload);
       }
-    });
+    }, "pilut/exchange/reply");
     }
 
     // --- Receive U rows and eliminate I_l columns from the remaining rows
@@ -381,7 +381,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
       }
       ctx.charge_flops(flops);
       ctx.charge_mem(copied);
-    });
+    }, "pilut/reduce");
     }
 
     // --- Retire the factored rows and reset the dense scratch stamps.
@@ -400,6 +400,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
   }
   if (sched.level_start.back() != n) sched.level_start.push_back(n);
   PTILU_CHECK(next_num == n, "numbering did not cover all rows");
+  machine.check_quiescent("pilut/end");
 
   pilut_detail::finish_stats(machine, stats);
 

@@ -164,7 +164,7 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
       }
       ctx.charge_flops(flops);
       ctx.charge_mem(copied);
-    });
+    }, "nested/stage");
   };
 
   int depth = 0;
@@ -179,7 +179,8 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
       // Gather everything onto rank 0 and factor the block sequentially.
       for (int r = 1; r < nranks; ++r) {
         for (const idx v : active[r]) {
-          machine.charge_transfer(r, 0, row_bytes(state.tails[v], state.lrows[v]));
+          machine.charge_transfer(r, 0, row_bytes(state.tails[v], state.lrows[v]),
+                                  "nested/gather_sequential");
           host[v] = 0;
           active[0].push_back(v);
         }
@@ -221,9 +222,9 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
           }
         }
         ctx.charge_mem(scanned * sizeof(idx));
-      });
+      }, "nested/graph");
       machine.collective(static_cast<std::uint64_t>(verts.size()) * sizeof(idx) / nranks +
-                         sizeof(idx));
+                         sizeof(idx), "nested/graph_gather");
     }
     const Graph reduced_graph = graph_from_edges(static_cast<idx>(verts.size()), edges);
     const Partition part = partition_kway(reduced_graph, nranks,
@@ -261,7 +262,8 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
         const int new_host = part.part[c];
         if (host[v] != new_host) {
           machine.charge_transfer(host[v], new_host,
-                                  row_bytes(state.tails[v], state.lrows[v]));
+                                  row_bytes(state.tails[v], state.lrows[v]),
+                                  "nested/migrate");
           host[v] = static_cast<idx>(new_host);
         }
         new_active[new_host].push_back(v);
@@ -281,7 +283,7 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
     {
       sim::ScopedPhase span(tr, "number");
       machine.collective(static_cast<std::uint64_t>(stage_count) * sizeof(idx) / nranks +
-                         sizeof(idx));
+                         sizeof(idx), "nested/number");
     }
     {
       sim::ScopedPhase span(tr, "stage");
@@ -308,6 +310,7 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
   }
   if (sched.level_start.back() != n) sched.level_start.push_back(n);
   PTILU_CHECK(next_num == n, "nested numbering did not cover all rows");
+  machine.check_quiescent("nested/end");
 
   pilut_detail::finish_stats(machine, stats);
   sched.orig_of = invert_permutation(sched.newnum);

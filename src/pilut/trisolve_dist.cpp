@@ -42,12 +42,10 @@ void drain_ghosts(sim::RankContext& ctx, std::unordered_map<idx, real>& ghost) {
   RealVec pending_val;
   for (const sim::Message& msg : ctx.recv_all()) {
     if (msg.tag == kTagIdx) {
-      const IdxVec part = sim::decode_indices(msg);
-      pending_idx.insert(pending_idx.end(), part.begin(), part.end());
+      sim::decode_indices_append(msg, pending_idx);
     } else {
       PTILU_CHECK(msg.tag == kTagVal, "unexpected message in triangular solve");
-      const RealVec part = sim::decode_reals(msg);
-      pending_val.insert(pending_val.end(), part.begin(), part.end());
+      sim::decode_reals_append(msg, pending_val);
     }
   }
   PTILU_CHECK(pending_idx.size() == pending_val.size(), "ghost batch mismatch");
@@ -129,7 +127,7 @@ void DistTriangularSolver::forward(sim::Machine& machine, const RealVec& b,
     }
     ctx.charge_flops(flops);
     ship_values(ctx, computed, y, consumers_fwd_);
-  });
+  }, "trisolve/fwd/interior");
   }
 
   // Phase 2: one superstep per independent-set level.
@@ -152,11 +150,13 @@ void DistTriangularSolver::forward(sim::Machine& machine, const RealVec& b,
       }
       ctx.charge_flops(flops);
       ship_values(ctx, rows, y, consumers_fwd_);
-    });
+    }, "trisolve/fwd/level");
   }
   // Drain any values shipped by the last level (no one consumes them in the
   // forward direction, but the queues must be left clean).
-  machine.step([&](sim::RankContext& ctx) { (void)ctx.recv_all(); });
+  machine.step([&](sim::RankContext& ctx) { (void)ctx.recv_all(); },
+               "trisolve/fwd/drain");
+  machine.check_quiescent("trisolve/fwd/end");
 }
 
 void DistTriangularSolver::backward(sim::Machine& machine, const RealVec& yin,
@@ -195,7 +195,7 @@ void DistTriangularSolver::backward(sim::Machine& machine, const RealVec& yin,
       }
       ctx.charge_flops(flops);
       ship_values(ctx, rows, x, consumers_bwd_);
-    });
+    }, "trisolve/bwd/level");
   }
   }
 
@@ -221,8 +221,9 @@ void DistTriangularSolver::backward(sim::Machine& machine, const RealVec& yin,
       x[i] = acc / u.values[start];
     }
     ctx.charge_flops(flops);
-  });
+  }, "trisolve/bwd/interior");
   }
+  machine.check_quiescent("trisolve/bwd/end");
 }
 
 void DistTriangularSolver::apply(sim::Machine& machine, const RealVec& b,

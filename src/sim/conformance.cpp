@@ -1,0 +1,276 @@
+#include "ptilu/sim/conformance.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace ptilu::sim {
+
+const char* collective_op_name(CollectiveOp op) {
+  switch (op) {
+    case CollectiveOp::kBarrier: return "barrier";
+    case CollectiveOp::kSum: return "allreduce_sum";
+    case CollectiveOp::kMax: return "allreduce_max";
+    case CollectiveOp::kSumLL: return "allreduce_sum_ll";
+    case CollectiveOp::kExchange: return "exchange";
+    case CollectiveOp::kUser: return "user";
+  }
+  return "?";
+}
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSend: return "send";
+    case EventKind::kDrain: return "drain";
+    case EventKind::kCollective: return "collective";
+    case EventKind::kTransferOut: return "transfer-out";
+    case EventKind::kTransferIn: return "transfer-in";
+    case EventKind::kQuiescence: return "quiescent";
+    case EventKind::kReset: return "reset";
+  }
+  return "?";
+}
+
+bool conformance_enabled_by_env() noexcept {
+  const char* value = std::getenv("PTILU_CHECK");
+  if (value == nullptr) return false;
+  std::string lower;
+  for (const char* p = value; *p != '\0'; ++p) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  return lower == "1" || lower == "on" || lower == "true" || lower == "yes";
+}
+
+Conformance::Conformance(int nranks, std::size_t transcript_tail)
+    : nranks_(nranks),
+      tail_(transcript_tail > 0 ? transcript_tail : 1),
+      pending_(static_cast<std::size_t>(nranks)),
+      outbox_(static_cast<std::size_t>(nranks)),
+      inbox_(static_cast<std::size_t>(nranks)),
+      drained_(static_cast<std::size_t>(nranks), 0),
+      events_(static_cast<std::size_t>(nranks)),
+      events_next_(static_cast<std::size_t>(nranks), 0) {
+  sites_.emplace_back();  // id 0: the untagged site
+  site_ids_.emplace("", 0);
+}
+
+std::uint32_t Conformance::intern(std::string_view site) {
+  const auto it = site_ids_.find(site);
+  if (it != site_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(sites_.size());
+  sites_.emplace_back(site);
+  site_ids_.emplace(sites_.back(), id);
+  return id;
+}
+
+void Conformance::record(int rank, ProtocolEvent event) {
+  auto& ring = events_[rank];
+  if (ring.size() < tail_) {
+    ring.push_back(event);
+    return;
+  }
+  ring[events_next_[rank]] = event;
+  events_next_[rank] = (events_next_[rank] + 1) % tail_;
+}
+
+std::string Conformance::describe(const Fingerprint& fp) const {
+  std::ostringstream oss;
+  oss << collective_op_name(fp.op) << " " << fp.bytes << " B";
+  if (fp.site != 0) oss << " @" << site_name(fp.site);
+  return oss.str();
+}
+
+std::string Conformance::describe(const MessageMeta& meta, int to) const {
+  std::ostringstream oss;
+  oss << "rank " << meta.from << " -> rank " << to << " tag=" << meta.tag << " "
+      << meta.bytes << " B, posted in superstep " << meta.superstep;
+  if (meta.site != 0) oss << " at " << site_name(meta.site);
+  return oss.str();
+}
+
+std::string Conformance::transcript() const {
+  std::ostringstream oss;
+  oss << "per-rank protocol transcript (up to " << tail_ << " most recent events):\n";
+  for (int r = 0; r < nranks_; ++r) {
+    oss << "  rank " << r << ":";
+    const auto& ring = events_[r];
+    if (ring.empty()) {
+      oss << " (no events)\n";
+      continue;
+    }
+    oss << "\n";
+    // The ring holds tail_ events at most; cursor marks the oldest slot.
+    const std::size_t start = ring.size() < tail_ ? 0 : events_next_[r];
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      const ProtocolEvent& e = ring[(start + i) % ring.size()];
+      oss << "    s" << e.superstep << " " << event_kind_name(e.kind);
+      if (e.kind == EventKind::kCollective) oss << " " << collective_op_name(e.op);
+      if (e.peer >= 0) {
+        oss << (e.kind == EventKind::kTransferIn ? " <-rank " : " ->rank ") << e.peer;
+      }
+      if (e.kind == EventKind::kSend) oss << " tag=" << e.tag;
+      if (e.kind == EventKind::kDrain) oss << " " << e.count << " msg(s)";
+      oss << " " << e.bytes << " B";
+      if (e.site != 0) oss << " @" << site_name(e.site);
+      oss << "\n";
+    }
+  }
+  return oss.str();
+}
+
+void Conformance::fail(const std::string& summary) {
+  ++violations_;
+  throw Error("SPMD conformance violation: " + summary + "\n" + transcript());
+}
+
+void Conformance::on_step_begin(std::uint64_t superstep, std::string_view site) {
+  superstep_ = superstep;
+  step_site_ = intern(site);
+}
+
+void Conformance::on_send(int from, int to, int tag, std::uint64_t bytes) {
+  if (to < 0 || to >= nranks_) {
+    std::ostringstream oss;
+    oss << "rank " << from << " sent to out-of-range rank " << to << " (tag=" << tag
+        << ", " << bytes << " B) in superstep " << superstep_;
+    if (step_site_ != 0) oss << " at " << site_name(step_site_);
+    fail(oss.str());
+  }
+  record(from, ProtocolEvent{superstep_, bytes, 1, step_site_, to, tag,
+                             EventKind::kSend, CollectiveOp::kBarrier});
+  outbox_[to].push_back(MessageMeta{superstep_, bytes, step_site_, from, tag});
+}
+
+void Conformance::on_recv_all(int rank) {
+  if (drained_[rank] != 0) {
+    std::ostringstream oss;
+    oss << "rank " << rank << " drained its inbox twice in superstep " << superstep_;
+    if (step_site_ != 0) oss << " at " << site_name(step_site_);
+    oss << "; the second drain reads an already-emptied inbox, so any message "
+           "arriving between the calls would be lost silently";
+    fail(oss.str());
+  }
+  drained_[rank] = 1;
+  std::uint64_t bytes = 0;
+  for (const MessageMeta& m : inbox_[rank]) bytes += m.bytes;
+  record(rank, ProtocolEvent{superstep_, bytes, inbox_[rank].size(), step_site_, -1, 0,
+                             EventKind::kDrain, CollectiveOp::kBarrier});
+  inbox_[rank].clear();
+}
+
+void Conformance::declare_collective(int rank, CollectiveOp op, std::uint64_t bytes,
+                                     std::string_view site) {
+  const std::uint32_t site_id = site.empty() ? step_site_ : intern(site);
+  pending_[rank].push_back(Fingerprint{op, bytes, site_id});
+  record(rank, ProtocolEvent{superstep_, bytes, 0, site_id, -1, 0,
+                             EventKind::kCollective, op});
+}
+
+void Conformance::on_barrier(std::uint64_t superstep) {
+  // (a) Collective conformance: every rank must have declared the same
+  // fingerprint sequence since the previous barrier.
+  const auto& reference = pending_[0];
+  for (int r = 1; r < nranks_; ++r) {
+    const auto& mine = pending_[r];
+    const std::size_t common = std::min(reference.size(), mine.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      if (mine[i] == reference[i]) continue;
+      std::ostringstream oss;
+      oss << "collective fingerprint divergence in superstep " << superstep
+          << ": rank " << r << " declared collective #" << i << " as ["
+          << describe(mine[i]) << "] but rank 0 declared [" << describe(reference[i])
+          << "]";
+      fail(oss.str());
+    }
+    if (mine.size() != reference.size()) {
+      std::ostringstream oss;
+      oss << "collective count divergence in superstep " << superstep << ": rank " << r
+          << " declared " << mine.size() << " collective(s) but rank 0 declared "
+          << reference.size();
+      if (step_site_ != 0) oss << " at " << site_name(step_site_);
+      fail(oss.str());
+    }
+  }
+  for (auto& p : pending_) p.clear();
+
+  // (b) Message loss: a non-empty inbox at delivery time is about to be
+  // overwritten — its messages were delivered a superstep ago and the
+  // owning rank never received them.
+  for (int r = 0; r < nranks_; ++r) {
+    if (inbox_[r].empty()) continue;
+    std::ostringstream oss;
+    oss << "rank " << r << " never received " << inbox_[r].size()
+        << " message(s) before the superstep " << superstep
+        << " barrier; the next delivery overwrites the inbox, losing them:";
+    for (const MessageMeta& m : inbox_[r]) oss << "\n  lost: " << describe(m, r);
+    fail(oss.str());
+  }
+
+  // (c) Deliver the posted metadata mirror for the next superstep.
+  for (int r = 0; r < nranks_; ++r) {
+    inbox_[r] = std::move(outbox_[r]);
+    outbox_[r].clear();
+    drained_[r] = 0;
+  }
+}
+
+void Conformance::on_transfer(int from, int to, std::uint64_t bytes,
+                              std::string_view site) {
+  const std::uint32_t site_id = site.empty() ? step_site_ : intern(site);
+  if (from < 0 || from >= nranks_ || to < 0 || to >= nranks_) {
+    std::ostringstream oss;
+    oss << "charge_transfer between out-of-range ranks " << from << " -> " << to
+        << " (" << bytes << " B)";
+    if (site_id != 0) oss << " at " << site_name(site_id);
+    fail(oss.str());
+  }
+  record(from, ProtocolEvent{superstep_, bytes, 1, site_id, to, 0,
+                             EventKind::kTransferOut, CollectiveOp::kBarrier});
+  record(to, ProtocolEvent{superstep_, bytes, 1, site_id, from, 0,
+                           EventKind::kTransferIn, CollectiveOp::kBarrier});
+}
+
+void Conformance::on_quiescent(std::string_view site) {
+  const std::uint32_t site_id = intern(site);
+  for (int r = 0; r < nranks_; ++r) {
+    const bool orphaned = !inbox_[r].empty();
+    const bool undelivered = !outbox_[r].empty();
+    if (!orphaned && !undelivered) continue;
+    std::ostringstream oss;
+    oss << "quiescence check";
+    if (site_id != 0) oss << " at " << site_name(site_id);
+    oss << " failed: rank " << r << " still holds ";
+    if (orphaned) {
+      oss << inbox_[r].size() << " delivered-but-never-received message(s)";
+    }
+    if (undelivered) {
+      if (orphaned) oss << " and ";
+      oss << outbox_[r].size() << " posted-but-undelivered message(s)";
+    }
+    oss << " — a peer finalized while this traffic was still in flight:";
+    for (const MessageMeta& m : inbox_[r]) oss << "\n  orphaned: " << describe(m, r);
+    for (const MessageMeta& m : outbox_[r]) oss << "\n  queued: " << describe(m, r);
+    fail(oss.str());
+  }
+  for (int r = 0; r < nranks_; ++r) {
+    record(r, ProtocolEvent{superstep_, 0, 0, site_id, -1, 0, EventKind::kQuiescence,
+                            CollectiveOp::kBarrier});
+  }
+}
+
+void Conformance::on_reset() {
+  for (auto& p : pending_) p.clear();
+  for (auto& box : inbox_) box.clear();
+  for (auto& box : outbox_) box.clear();
+  std::fill(drained_.begin(), drained_.end(), 0);
+  superstep_ = 0;
+  step_site_ = 0;
+  for (int r = 0; r < nranks_; ++r) {
+    record(r, ProtocolEvent{0, 0, 0, 0, -1, 0, EventKind::kReset,
+                            CollectiveOp::kBarrier});
+  }
+}
+
+}  // namespace ptilu::sim

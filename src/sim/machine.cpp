@@ -6,6 +6,7 @@
 #include <limits>
 #include <utility>
 
+#include "ptilu/sim/conformance.hpp"
 #include "ptilu/sim/trace.hpp"
 
 namespace ptilu::sim {
@@ -57,9 +58,17 @@ void RankContext::send_reals(int to, int tag, const RealVec& data) {
 }
 
 std::vector<Message> RankContext::recv_all() {
+  if (machine_->checker_ != nullptr) machine_->checker_->on_recv_all(rank_);
   // std::exchange (not a bare move) so a second drain in the same superstep
   // reads a well-defined empty inbox instead of a moved-from vector.
   return std::exchange(machine_->inbox_[rank_], std::vector<Message>{});
+}
+
+void RankContext::declare_collective(CollectiveOp op, std::uint64_t bytes,
+                                     std::string_view site) {
+  if (machine_->checker_ != nullptr) {
+    machine_->checker_->declare_collective(rank_, op, bytes, site);
+  }
 }
 
 IdxVec decode_indices(const Message& m) { return decode<idx>(m); }
@@ -68,14 +77,22 @@ void decode_indices_append(const Message& m, IdxVec& out) { decode_append(m, out
 void decode_reals_append(const Message& m, RealVec& out) { decode_append(m, out); }
 
 Machine::Machine(int nranks, MachineParams params)
+    : Machine(nranks, Options{.params = params}) {}
+
+Machine::Machine(int nranks, const Options& options)
     : nranks_(nranks),
-      params_(params),
+      params_(options.params),
       clock_(nranks, 0.0),
       counters_(nranks),
       inbox_(nranks),
       outbox_(nranks) {
   PTILU_CHECK(nranks >= 1, "machine needs at least one rank");
+  if (options.check) {
+    checker_ = std::make_unique<Conformance>(nranks, options.transcript_tail);
+  }
 }
+
+Machine::~Machine() = default;
 
 void Machine::attach_trace(Trace* trace) {
   trace_ = trace;
@@ -101,6 +118,10 @@ void Machine::charge_mem(int rank, std::uint64_t n) {
 }
 
 void Machine::post(int from, int to, int tag, std::vector<std::byte> payload) {
+  // The checker validates the destination first: its report names the call
+  // site and dumps the protocol transcript, where the bare check below can
+  // only name the rank.
+  if (checker_ != nullptr) checker_->on_send(from, to, tag, payload.size());
   PTILU_CHECK(to >= 0 && to < nranks_, "send to invalid rank " << to);
   const std::uint64_t bytes = payload.size();
   counters_[from].messages_sent += 1;
@@ -114,11 +135,17 @@ void Machine::post(int from, int to, int tag, std::vector<std::byte> payload) {
   outbox_[to].push_back(Message{from, tag, std::move(payload)});
 }
 
-void Machine::step(const std::function<void(RankContext&)>& body) {
+void Machine::step(const std::function<void(RankContext&)>& body,
+                   std::string_view site) {
+  if (checker_ != nullptr) checker_->on_step_begin(supersteps_, site);
   for (int r = 0; r < nranks_; ++r) {
     RankContext ctx(*this, r);
     body(ctx);
   }
+  // Conformance barrier before physical delivery: collective fingerprints
+  // must agree, and an undrained inbox is flagged before the swap below
+  // silently drops its messages.
+  if (checker_ != nullptr) checker_->on_barrier(supersteps_);
   // Deliver posted messages for the next superstep. Receivers pay the
   // per-byte cost of draining their inbound traffic.
   for (int r = 0; r < nranks_; ++r) {
@@ -150,31 +177,45 @@ void Machine::step(const std::function<void(RankContext&)>& body) {
   ++supersteps_;
 }
 
-double Machine::allreduce_sum(const std::function<double(int)>& value_of_rank) {
+double Machine::allreduce_sum(const std::function<double(int)>& value_of_rank,
+                              std::string_view site) {
   double total = 0.0;
   in_allreduce_ = true;
-  step([&](RankContext& ctx) { total += value_of_rank(ctx.rank()); });
+  step([&](RankContext& ctx) {
+    ctx.declare_collective(CollectiveOp::kSum, sizeof(double), site);
+    total += value_of_rank(ctx.rank());
+  }, site);
   in_allreduce_ = false;
   return total;
 }
 
-double Machine::allreduce_max(const std::function<double(int)>& value_of_rank) {
+double Machine::allreduce_max(const std::function<double(int)>& value_of_rank,
+                              std::string_view site) {
   double best = -std::numeric_limits<double>::infinity();
   in_allreduce_ = true;
-  step([&](RankContext& ctx) { best = std::max(best, value_of_rank(ctx.rank())); });
+  step([&](RankContext& ctx) {
+    ctx.declare_collective(CollectiveOp::kMax, sizeof(double), site);
+    best = std::max(best, value_of_rank(ctx.rank()));
+  }, site);
   in_allreduce_ = false;
   return best;
 }
 
-long long Machine::allreduce_sum_ll(const std::function<long long(int)>& value_of_rank) {
+long long Machine::allreduce_sum_ll(const std::function<long long(int)>& value_of_rank,
+                                    std::string_view site) {
   long long total = 0;
   in_allreduce_ = true;
-  step([&](RankContext& ctx) { total += value_of_rank(ctx.rank()); });
+  step([&](RankContext& ctx) {
+    ctx.declare_collective(CollectiveOp::kSumLL, sizeof(long long), site);
+    total += value_of_rank(ctx.rank());
+  }, site);
   in_allreduce_ = false;
   return total;
 }
 
-void Machine::charge_transfer(int from, int to, std::uint64_t bytes) {
+void Machine::charge_transfer(int from, int to, std::uint64_t bytes,
+                              std::string_view site) {
+  if (checker_ != nullptr) checker_->on_transfer(from, to, bytes, site);
   PTILU_CHECK(from >= 0 && from < nranks_ && to >= 0 && to < nranks_,
               "charge_transfer: invalid rank");
   counters_[from].messages_sent += 1;
@@ -190,7 +231,17 @@ void Machine::charge_transfer(int from, int to, std::uint64_t bytes) {
   clock_[to] += recv_cost;
 }
 
-void Machine::collective(std::uint64_t payload_bytes) {
+void Machine::collective(std::uint64_t payload_bytes, std::string_view site) {
+  if (checker_ != nullptr) {
+    // A machine-driven exchange involves every rank by construction; the
+    // fingerprints still flow through the checker so transcripts show the
+    // collective and seeded divergence tests exercise the same path.
+    checker_->on_step_begin(supersteps_, site);
+    for (int r = 0; r < nranks_; ++r) {
+      checker_->declare_collective(r, CollectiveOp::kExchange, payload_bytes, site);
+    }
+    checker_->on_barrier(supersteps_);
+  }
   const double hops = std::max(1.0, std::ceil(std::log2(static_cast<double>(nranks_))));
   const double cost =
       hops * (params_.alpha + static_cast<double>(payload_bytes) * params_.beta);
@@ -230,6 +281,10 @@ RankCounters Machine::total_counters() const {
   return total;
 }
 
+void Machine::check_quiescent(std::string_view site) {
+  if (checker_ != nullptr) checker_->on_quiescent(site);
+}
+
 void Machine::reset() {
   std::fill(clock_.begin(), clock_.end(), 0.0);
   counters_.assign(nranks_, RankCounters{});
@@ -237,6 +292,7 @@ void Machine::reset() {
   for (auto& box : outbox_) box.clear();
   supersteps_ = 0;
   if (trace_ != nullptr) trace_->on_machine_reset();
+  if (checker_ != nullptr) checker_->on_reset();
 }
 
 }  // namespace ptilu::sim

@@ -118,7 +118,7 @@ void Trace::record(int rank, SpanKind kind, double start, double end,
   if (static_cast<std::size_t>(rank) >= open_span_.size()) {
     open_span_.resize(static_cast<std::size_t>(rank) + 1, kNoSpan);
   }
-  const std::size_t prev = open_span_[rank];
+  const std::size_t prev = open_span_[static_cast<std::size_t>(rank)];
   if (prev != kNoSpan) {
     Span& p = spans_[prev];
     if (p.kind == kind && p.phase == phase && p.end == abs_start) {
@@ -130,7 +130,7 @@ void Trace::record(int rank, SpanKind kind, double start, double end,
     }
   }
   spans_.push_back(Span{abs_start, abs_end, flops, bytes, messages, rank, phase, kind});
-  open_span_[rank] = spans_.size() - 1;
+  open_span_[static_cast<std::size_t>(rank)] = spans_.size() - 1;
 }
 
 void Trace::sync(double horizon) {

@@ -13,7 +13,7 @@ std::vector<std::string> split_commas(const std::string& s) {
   std::vector<std::string> out;
   std::string item;
   std::istringstream iss(s);
-  while (std::getline(iss, item, ',')) out.push_back(item);
+  while (std::getline(iss, item, ',')) out.push_back(std::move(item));
   return out;
 }
 
@@ -37,7 +37,7 @@ Cli::Cli(int argc, const char* const* argv) {
 
 bool Cli::has(const std::string& name) const {
   consumed_[name] = true;
-  return values_.count(name) > 0;
+  return values_.contains(name);
 }
 
 std::string Cli::get_string(const std::string& name, const std::string& fallback) const {
@@ -96,7 +96,7 @@ std::vector<double> Cli::get_double_list(const std::string& name,
 
 void Cli::check_all_consumed() const {
   for (const auto& [name, value] : values_) {
-    PTILU_CHECK(consumed_.count(name) > 0, "unknown flag --" << name << "=" << value);
+    PTILU_CHECK(consumed_.contains(name), "unknown flag --" << name << "=" << value);
   }
 }
 

@@ -1,0 +1,289 @@
+// Tests for the SPMD conformance checker: each seeded protocol violation
+// must be caught with a report naming the offending rank and call site, and
+// checking must never perturb the modeled output (pure observation).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <tuple>
+
+#include "ptilu/sim/conformance.hpp"
+#include "ptilu/sim/machine.hpp"
+
+namespace ptilu::sim {
+namespace {
+
+Machine checked(int nranks) {
+  return Machine(nranks, Machine::Options{.check = true});
+}
+
+/// Runs `body`, expecting a conformance Error whose message contains every
+/// string in `needles` (rank ids, call-site tags, explanation fragments).
+template <typename Body>
+void expect_violation(Body&& body, std::initializer_list<const char*> needles) {
+  try {
+    body();
+    FAIL() << "expected an SPMD conformance violation";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("SPMD conformance violation"), std::string::npos) << what;
+    for (const char* needle : needles) {
+      EXPECT_NE(what.find(needle), std::string::npos)
+          << "report missing '" << needle << "':\n" << what;
+    }
+    // Every report carries the per-rank protocol transcript.
+    EXPECT_NE(what.find("per-rank protocol transcript"), std::string::npos) << what;
+  }
+}
+
+TEST(Conformance, OffByDefaultWithoutEnv) {
+  if (conformance_enabled_by_env()) GTEST_SKIP() << "PTILU_CHECK set in environment";
+  Machine m(2);
+  EXPECT_FALSE(m.checking());
+  EXPECT_EQ(m.checker(), nullptr);
+}
+
+TEST(Conformance, OptionsAttachChecker) {
+  Machine m = checked(3);
+  EXPECT_TRUE(m.checking());
+  ASSERT_NE(m.checker(), nullptr);
+  EXPECT_EQ(m.checker()->nranks(), 3);
+}
+
+TEST(Conformance, SendToInvalidRankReported) {
+  expect_violation(
+      [] {
+        Machine m = checked(2);
+        m.step([](RankContext& ctx) {
+          if (ctx.rank() == 1) ctx.send_indices(7, /*tag=*/3, {1, 2});
+        }, "test/bad_send");
+      },
+      {"rank 1", "out-of-range rank 7", "test/bad_send"});
+}
+
+TEST(Conformance, SendToNegativeRankReported) {
+  expect_violation(
+      [] {
+        Machine m = checked(2);
+        m.step([](RankContext& ctx) {
+          if (ctx.rank() == 0) ctx.send_indices(-1, /*tag=*/0, {5});
+        }, "test/negative");
+      },
+      {"rank 0", "out-of-range rank -1", "test/negative"});
+}
+
+TEST(Conformance, RecvOnEmptyInboxIsClean) {
+  Machine m = checked(2);
+  m.step([](RankContext& ctx) { EXPECT_TRUE(ctx.recv_all().empty()); }, "test/empty");
+  EXPECT_EQ(m.checker()->violations(), 0u);
+}
+
+TEST(Conformance, SecondDrainInSameSuperstepReported) {
+  expect_violation(
+      [] {
+        Machine m = checked(2);
+        m.step([](RankContext& ctx) {
+          if (ctx.rank() == 0) ctx.send_indices(1, /*tag=*/1, {42});
+        }, "test/send");
+        m.step([](RankContext& ctx) {
+          (void)ctx.recv_all();
+          if (ctx.rank() == 1) (void)ctx.recv_all();  // the PR 2 bug class
+        }, "test/double_drain");
+      },
+      {"rank 1", "drained its inbox twice", "test/double_drain"});
+}
+
+TEST(Conformance, SecondDrainAllowedWhenCheckingOff) {
+  Machine m(2, Machine::Options{.check = false});
+  m.step([](RankContext& ctx) {
+    if (ctx.rank() == 0) ctx.send_indices(1, /*tag=*/1, {42});
+  });
+  m.step([](RankContext& ctx) {
+    const auto first = ctx.recv_all();
+    if (ctx.rank() == 1) {
+      EXPECT_EQ(first.size(), 1u);
+    }
+    EXPECT_TRUE(ctx.recv_all().empty());  // well-defined empty fallback
+  });
+}
+
+TEST(Conformance, MismatchedCollectiveBytesReported) {
+  expect_violation(
+      [] {
+        Machine m = checked(2);
+        m.step([](RankContext& ctx) {
+          // Rank-dependent payload: rank 1 claims a different byte count.
+          ctx.declare_collective(CollectiveOp::kUser,
+                                 ctx.rank() == 0 ? 8u : 16u, "test/reduce");
+        }, "test/collective_step");
+      },
+      {"collective fingerprint divergence", "rank 1", "test/reduce"});
+}
+
+TEST(Conformance, SkippedCollectiveReported) {
+  expect_violation(
+      [] {
+        Machine m = checked(2);
+        m.step([](RankContext& ctx) {
+          // Rank 1's control flow skips the collective entirely.
+          if (ctx.rank() == 0) {
+            ctx.declare_collective(CollectiveOp::kSum, 8, "test/skipped");
+          }
+        }, "test/skip_step");
+      },
+      {"collective count divergence", "rank 1", "declared 0 collective(s)"});
+}
+
+TEST(Conformance, MatchingCollectivesAreClean) {
+  Machine m = checked(4);
+  m.allreduce_sum([](int r) { return static_cast<double>(r); }, "test/sum");
+  m.allreduce_max([](int r) { return static_cast<double>(r); }, "test/max");
+  m.collective(64, "test/exchange");
+  m.step([](RankContext& ctx) {
+    ctx.declare_collective(CollectiveOp::kUser, 32, "test/user");
+  }, "test/user_step");
+  EXPECT_EQ(m.checker()->violations(), 0u);
+}
+
+TEST(Conformance, OrphanedMessageAtQuiescenceReported) {
+  expect_violation(
+      [] {
+        Machine m = checked(2);
+        m.step([](RankContext& ctx) {
+          if (ctx.rank() == 0) ctx.send_indices(1, /*tag=*/9, {1, 2, 3});
+        }, "test/orphan_send");
+        // The message is now delivered to rank 1's inbox; nobody drains it.
+        m.check_quiescent("test/end");
+      },
+      {"quiescence check at test/end failed", "rank 1",
+       "delivered-but-never-received", "tag=9", "test/orphan_send"});
+}
+
+TEST(Conformance, OrphanedReplyAtQuiescenceReported) {
+  expect_violation(
+      [] {
+        Machine m = checked(2);
+        m.step([](RankContext& ctx) {
+          if (ctx.rank() == 0) ctx.send_indices(1, /*tag=*/4, {8});
+        }, "test/setup");
+        m.step([](RankContext& ctx) {
+          (void)ctx.recv_all();
+          if (ctx.rank() == 1) ctx.send_indices(0, /*tag=*/5, {6});
+        }, "test/reply");
+        // rank 1's reply was delivered to rank 0's inbox at the barrier and
+        // never drained.
+        m.check_quiescent("test/final");
+      },
+      {"quiescence check at test/final failed", "rank 0", "tag=5", "test/reply"});
+}
+
+TEST(Conformance, LostMessageOverwriteReported) {
+  expect_violation(
+      [] {
+        Machine m = checked(2);
+        m.step([](RankContext& ctx) {
+          if (ctx.rank() == 0) ctx.send_indices(1, /*tag=*/2, {7});
+        }, "test/lost_send");
+        // Rank 1 forgets to drain; the barrier at the end of this step
+        // delivers the next batch over the unread message.
+        m.step([](RankContext&) {}, "test/forgot_drain");
+      },
+      {"rank 1", "never received 1 message(s)", "losing them", "test/lost_send"});
+}
+
+TEST(Conformance, TransferToInvalidRankReported) {
+  expect_violation(
+      [] {
+        Machine m = checked(2);
+        m.charge_transfer(0, 5, 1024, "test/migrate");
+      },
+      {"out-of-range ranks 0 -> 5", "test/migrate"});
+}
+
+TEST(Conformance, CleanProtocolRoundTripHasNoViolations) {
+  Machine m = checked(3);
+  m.step([](RankContext& ctx) {
+    const int next = (ctx.rank() + 1) % ctx.nranks();
+    ctx.send_reals(next, /*tag=*/1, {1.0, 2.0});
+  }, "test/ring_send");
+  m.step([](RankContext& ctx) {
+    const auto msgs = ctx.recv_all();
+    ASSERT_EQ(msgs.size(), 1u);
+  }, "test/ring_recv");
+  m.check_quiescent("test/ring_end");
+  EXPECT_EQ(m.checker()->violations(), 0u);
+}
+
+TEST(Conformance, ResetClearsInFlightState) {
+  Machine m = checked(2);
+  m.step([](RankContext& ctx) {
+    if (ctx.rank() == 0) ctx.send_indices(1, /*tag=*/1, {3});
+  }, "test/pre_reset");
+  m.reset();  // drops the orphaned message along with the queues
+  m.check_quiescent("test/post_reset");
+  EXPECT_EQ(m.checker()->violations(), 0u);
+}
+
+TEST(Conformance, CheckerReuseAfterCaughtViolation) {
+  Machine m = checked(2);
+  try {
+    m.step([](RankContext& ctx) {
+      if (ctx.rank() == 0) ctx.send_indices(9, /*tag=*/0, {1});
+    }, "test/bad");
+    FAIL() << "expected a violation";
+  } catch (const Error&) {
+  }
+  EXPECT_EQ(m.checker()->violations(), 1u);
+}
+
+// The checker is pure observation: a protocol-clean program must produce
+// bit-identical modeled time, counters, and superstep counts with checking
+// on and off.
+TEST(Conformance, ModeledOutputBitIdenticalCheckedVsUnchecked) {
+  const auto run = [](bool check) {
+    Machine m(4, Machine::Options{.check = check});
+    for (int round = 0; round < 3; ++round) {
+      m.step([&](RankContext& ctx) {
+        ctx.charge_flops(1000 + 37 * static_cast<std::uint64_t>(ctx.rank()));
+        const int next = (ctx.rank() + 1) % ctx.nranks();
+        ctx.send_reals(next, /*tag=*/round, {1.5, 2.5, 3.5});
+      }, "ident/send");
+      m.step([](RankContext& ctx) {
+        const auto msgs = ctx.recv_all();
+        EXPECT_EQ(msgs.size(), 1u);
+        ctx.charge_mem(msgs.empty() ? 0 : msgs[0].payload.size());
+      }, "ident/recv");
+    }
+    const double sum = m.allreduce_sum(
+        [](int r) { return 0.25 * r; }, "ident/sum");
+    m.collective(256, "ident/exchange");
+    m.charge_transfer(0, 3, 4096, "ident/migrate");
+    m.check_quiescent("ident/end");
+    return std::tuple{m.modeled_time(), m.supersteps(), m.total_counters().flops,
+                      m.total_counters().bytes_sent, m.total_counters().messages_sent,
+                      m.total_counters().mem_bytes, sum};
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(Conformance, EnvParsingAcceptsCommonSpellings) {
+  // Only exercised indirectly (the env var is process-global); just pin the
+  // parse itself through a child-scope setenv round trip.
+  const char* old = std::getenv("PTILU_CHECK");
+  const std::string saved = old != nullptr ? old : "";
+  const bool had = old != nullptr;
+  for (const char* yes : {"1", "on", "ON", "true", "Yes"}) {
+    ::setenv("PTILU_CHECK", yes, 1);
+    EXPECT_TRUE(conformance_enabled_by_env()) << yes;
+  }
+  for (const char* no : {"0", "off", "false", "", "2"}) {
+    ::setenv("PTILU_CHECK", no, 1);
+    EXPECT_FALSE(conformance_enabled_by_env()) << no;
+  }
+  ::unsetenv("PTILU_CHECK");
+  EXPECT_FALSE(conformance_enabled_by_env());
+  if (had) ::setenv("PTILU_CHECK", saved.c_str(), 1);
+}
+
+}  // namespace
+}  // namespace ptilu::sim
