@@ -92,6 +92,24 @@ inline TestMatrix build_torso(const Scale& scale) {
   return {"TORSO", workloads::fem_torso_3d(opts).a};
 }
 
+/// Shared `--backend=<sequential|threads>` / `--threads=N` handling for the
+/// harnesses. Defaults come from Machine::Options itself, i.e. from the
+/// PTILU_BACKEND / PTILU_THREADS environment variables, so a CI job can
+/// flip an entire harness without touching its command line; the flags
+/// override the environment. Both backends produce bit-identical modeled
+/// results (see DESIGN.md §10), so this only changes host wall-clock — and
+/// the JSON reports record which backend ran, so cross-backend wall-clock
+/// comparisons are refused by scripts/check_bench_json.py unless explicitly
+/// requested.
+inline sim::Machine::Options machine_options_from_cli(const Cli& cli) {
+  sim::Machine::Options opts;
+  const std::string backend = cli.get_choice(
+      "backend", "", {"seq", "sequential", "serial", "thread", "threads", "threaded"});
+  if (!backend.empty()) opts.backend = sim::parse_backend(backend);
+  opts.threads = static_cast<int>(cli.get_int("threads", opts.threads));
+  return opts;
+}
+
 /// Partition + distribute for a given processor count.
 inline DistCsr distribute(const Csr& a, int nranks, std::uint64_t seed = 1) {
   const Graph g = graph_from_pattern(a);

@@ -9,9 +9,11 @@
 // the raw samples) in a machine-readable JSON file:
 //
 //   {
-//     "schema": "ptilu-bench-wallclock-v1",
+//     "schema": "ptilu-bench-wallclock-v2",
 //     "quick": true,
 //     "repetitions": 5,
+//     "backend": "sequential",
+//     "threads": 0,
 //     "benches": [
 //       {"name": "pilut_g0_p16", "workload": "G0", "kind": "factorization",
 //        "n": 9216, "nnz": 45824, "reps_s": [...],
@@ -25,10 +27,16 @@
 // so the timed work cannot be dead-code-eliminated — and so two builds can
 // be cross-checked for identical numerical output before their medians are
 // compared. scripts/check_bench_json.py validates the schema and computes
-// per-bench speedups between two such files.
+// per-bench speedups between two such files; since v2 records the execution
+// backend, the checker refuses to compare wall-clock across different
+// backends unless --allow-backend-mismatch is passed (that *is* the
+// interesting comparison when measuring the threaded backend's speedup —
+// checksums still must match, since both backends are bit-identical).
 //
 // Flags: --quick (CI-sized problems, fewer reps), --smoke (tiny problems,
-// one rep — schema smoke test only), --reps=N, --json=PATH.
+// one rep — schema smoke test only), --reps=N, --json=PATH,
+// --backend=<sequential|threads> and --threads=N (default from
+// PTILU_BACKEND / PTILU_THREADS; applies to the simulated-parallel benches).
 #include <algorithm>
 #include <cstdio>
 #include <functional>
@@ -101,12 +109,15 @@ BenchResult run_bench(const std::string& name, const TestMatrix& matrix,
 }
 
 void write_json(const std::string& path, bool quick, int reps,
+                const sim::Machine::Options& machine_opts,
                 const std::vector<BenchResult>& results) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   PTILU_CHECK(f != nullptr, "cannot open " << path << " for writing");
-  std::fprintf(f, "{\n  \"schema\": \"ptilu-bench-wallclock-v1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"ptilu-bench-wallclock-v2\",\n");
   std::fprintf(f, "  \"quick\": %s,\n  \"repetitions\": %d,\n", quick ? "true" : "false",
                reps);
+  std::fprintf(f, "  \"backend\": \"%s\",\n  \"threads\": %d,\n",
+               sim::backend_name(machine_opts.backend), machine_opts.threads);
   std::fprintf(f, "  \"benches\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
@@ -143,6 +154,7 @@ int main(int argc, char** argv) {
   const int reps =
       static_cast<int>(cli.get_int("reps", smoke ? 1 : (quick ? 3 : 5)));
   const std::string json_path = cli.get_string("json", "");
+  const sim::Machine::Options machine_opts = bench::machine_options_from_cli(cli);
   cli.check_all_consumed();
   PTILU_CHECK(reps >= 1, "--reps must be >= 1");
 
@@ -151,8 +163,9 @@ int main(int argc, char** argv) {
   const IlutOptions serial_opts{.m = 10, .tau = 1e-4, .pivot_rel = 1e-12};
   const PilutOptions pilut_opts{.m = 10, .tau = 1e-4, .pivot_rel = 1e-12};
 
-  std::printf("bench_wallclock: reps=%d scale=%s\n", reps,
-              smoke ? "smoke" : (quick ? "quick" : "default"));
+  std::printf("bench_wallclock: reps=%d scale=%s backend=%s\n", reps,
+              smoke ? "smoke" : (quick ? "quick" : "default"),
+              sim::backend_name(machine_opts.backend));
   std::vector<BenchResult> results;
 
   // --- Serial ILUT factorization.
@@ -169,7 +182,7 @@ int main(int argc, char** argv) {
   const int p_small = smoke ? 4 : 16;
   for (const TestMatrix* matrix : {&g0, &torso}) {
     const DistCsr dist = bench::distribute(matrix->a, p_small);
-    sim::Machine machine(p_small);
+    sim::Machine machine(p_small, machine_opts);
     results.push_back(run_bench(
         "pilut_" + matrix->name + "_p" + std::to_string(p_small), *matrix,
         "factorization", reps, [&]() {
@@ -180,7 +193,7 @@ int main(int argc, char** argv) {
   if (!smoke) {
     const int p_large = 64;
     const DistCsr dist = bench::distribute(g0.a, p_large);
-    sim::Machine machine(p_large);
+    sim::Machine machine(p_large, machine_opts);
     results.push_back(run_bench("pilut_G0_p" + std::to_string(p_large), g0,
                                 "factorization", reps, [&]() {
                                   const PilutResult result =
@@ -201,6 +214,8 @@ int main(int argc, char** argv) {
     }));
   }
 
-  if (!json_path.empty()) write_json(json_path, quick || smoke, reps, results);
+  if (!json_path.empty()) {
+    write_json(json_path, quick || smoke, reps, machine_opts, results);
+  }
   return 0;
 }

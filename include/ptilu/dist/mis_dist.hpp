@@ -50,6 +50,13 @@ struct DistMisOptions {
 /// list), and a per-round memo of the Luby vertex keys (so a key is hashed
 /// once per round instead of once per incident edge). None of this changes
 /// the modeled machine costs — the same messages and charges are produced.
+///
+/// Buffers indexed [lane] are per-execution-lane working storage: one lane
+/// under the sequential backend (shared by the ranks running one after
+/// another — the seed behavior), one per rank under the threaded backend so
+/// concurrent rank bodies never share mutable scratch. The key memo is a
+/// pure cache of vertex_key(seed, v, round), so per-lane memoization yields
+/// identical keys — just computed once per lane instead of once globally.
 struct DistMisScratch {
   std::vector<std::vector<std::uint8_t>> status;  // [rank][global id]
   std::vector<IdxVec> touched;                    // entries to reset per rank
@@ -59,15 +66,17 @@ struct DistMisScratch {
   std::vector<std::vector<IdxVec>> out_batch;  // [rank][peer] queued kOut notices
   std::vector<IdxVec> peer_start;  // [rank] CSR offsets: local vertex -> peer slice
   std::vector<std::vector<int>> peer_list;  // [rank] remote peer ranks, dedup'd
-  std::vector<std::uint8_t> peer_stamp;     // dense dedup stamp over ranks
-  IdxVec recv_buf;                          // message decode scratch
+  std::vector<std::vector<std::uint8_t>> peer_stamp;  // [lane] dedup stamp over ranks
+  std::vector<IdxVec> recv_buf;                       // [lane] message decode scratch
+  std::vector<IdxVec> selected;   // [lane] per-round winners
+  std::vector<long long> cand_lane;  // [lane] candidates-left partial sums
 
   // Lazy per-round vertex-key memo (keys are identical on every rank).
-  std::vector<std::uint64_t> key;        // [global id] memoized vertex_key
-  std::vector<std::uint32_t> key_stamp;  // [global id] round epoch of `key`
+  std::vector<std::vector<std::uint64_t>> key;  // [lane][global id] memoized vertex_key
+  std::vector<std::vector<std::uint32_t>> key_stamp;  // [lane][global id] round epoch
   std::uint32_t round_epoch = 0;
 
-  void ensure(int nranks, idx n_global);
+  void ensure(int nranks, int lanes, idx n_global);
 };
 
 /// Compute an independent set of the distributed graph; returns the chosen

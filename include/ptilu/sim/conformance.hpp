@@ -34,6 +34,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -99,6 +100,28 @@ class Conformance {
   /// Machine::reset dropped all in-flight state; mirror it.
   void on_reset();
 
+  // ---- Deferred mode (Backend::kThreads; driven by Machine) ----
+  /// Marker thrown by a violating hook while rank bodies run concurrently:
+  /// the full report cannot be built mid-step because other ranks are still
+  /// writing their transcripts. Machine catches it after the join and calls
+  /// throw_violation with the lowest failing rank's summary. Deliberately
+  /// not derived from ptilu::Error so user `catch (const Error&)` handlers
+  /// never observe the half-built state.
+  struct DeferredViolation {
+    std::string summary;
+  };
+  /// Enter deferred mode: events buffer per rank instead of landing in the
+  /// transcript rings, and fail() throws DeferredViolation.
+  void begin_deferred();
+  /// Leave deferred mode and commit the buffered events of ranks
+  /// [0, commit_ranks) to the transcript rings in rank order — exactly the
+  /// events a sequential run would have recorded when rank `commit_ranks-1`
+  /// was the last to execute. Buffers and per-step state of higher ranks
+  /// are discarded (sequentially they would never have run).
+  void end_deferred(int commit_ranks);
+  /// Count and throw the standard violation Error (summary + transcript).
+  [[noreturn]] void throw_violation(const std::string& summary);
+
   // ---- Introspection (used by tests and failure reporting) ----
   int nranks() const { return nranks_; }
   /// Total number of violations detected (each one also throws, so this is
@@ -123,6 +146,13 @@ class Conformance {
     int from = 0;
     int tag = 0;
   };
+  /// A message mirror staged in its sender's slot until the barrier merges
+  /// the stages in sender-rank order (mirrors Machine's delivery; keeps
+  /// on_send free of cross-rank writes under the threaded backend).
+  struct StagedMeta {
+    MessageMeta meta;
+    int to = 0;
+  };
 
   /// Transparent hash so interning a string_view site tag never allocates
   /// on the (common) already-seen path.
@@ -134,7 +164,11 @@ class Conformance {
   };
 
   std::uint32_t intern(std::string_view site);
-  const std::string& site_name(std::uint32_t id) const { return sites_[id]; }
+  /// By value: the site table can grow concurrently (a worker declaring a
+  /// collective interns its tag), so references into it are unstable while
+  /// a deferred step runs. Cold path — only failure reports and
+  /// transcripts call this.
+  std::string site_name(std::uint32_t id) const;
   void record(int rank, ProtocolEvent event);
   [[noreturn]] void fail(const std::string& summary);
   std::string describe(const Fingerprint& fp) const;
@@ -144,14 +178,17 @@ class Conformance {
   std::size_t tail_;
   std::vector<std::string> sites_;  // id -> tag ("" = untagged)
   std::unordered_map<std::string, std::uint32_t, SiteHash, std::equal_to<>> site_ids_;
+  mutable std::mutex site_mutex_;   // guards sites_/site_ids_ during deferred steps
   std::uint32_t step_site_ = 0;     // site of the superstep in progress
   std::uint64_t superstep_ = 0;     // index of the superstep in progress
   std::vector<std::vector<Fingerprint>> pending_;    // per rank, this superstep
-  std::vector<std::vector<MessageMeta>> outbox_;     // per destination rank
+  std::vector<std::vector<StagedMeta>> staged_;      // per sender rank
   std::vector<std::vector<MessageMeta>> inbox_;      // delivered, undrained
   std::vector<std::uint8_t> drained_;                // per rank, this superstep
   std::vector<std::vector<ProtocolEvent>> events_;   // per-rank transcript ring
   std::vector<std::size_t> events_next_;             // ring cursor per rank
+  std::vector<std::vector<ProtocolEvent>> step_events_;  // deferred-mode buffers
+  bool deferred_ = false;           // buffering events instead of ring-writing
   std::uint64_t violations_ = 0;
 };
 

@@ -22,6 +22,16 @@
 // attached, so untraced runs are bit-identical to a build without the
 // tracing layer. See DESIGN.md §7 ("Simulator observability") and
 // docs/TRACING.md.
+//
+// Execution backends: the superstep bodies can run on the calling thread
+// one rank after another (Backend::kSequential, the default) or
+// concurrently on a persistent worker pool (Backend::kThreads, opt-in via
+// Options::backend or the PTILU_BACKEND environment variable). Both
+// backends produce bit-identical modeled time, counters, factors, traces,
+// and conformance transcripts: every shared mutable path is rank-local
+// during the step and merged deterministically in rank order at the
+// barrier. See DESIGN.md §10 for the determinism argument and the list of
+// merge points.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +48,7 @@ namespace ptilu::sim {
 
 class Trace;
 class Conformance;
+enum class SpanKind : std::uint8_t;
 
 /// Operation kind of a fingerprinted collective (SPMD conformance checking;
 /// see conformance.hpp). All ranks must declare the same op/bytes/site
@@ -59,6 +70,34 @@ const char* collective_op_name(CollectiveOp op);
 /// default for Machine::Options::check, so existing benchmarks and tests
 /// can be re-run checked without rebuilding.
 bool conformance_enabled_by_env() noexcept;
+
+/// How superstep bodies execute. Both backends are observationally
+/// identical (bit-identical modeled time, counters, traces, conformance
+/// transcripts); kThreads additionally uses the host's cores for wall-clock
+/// speed when ranks do real work per superstep.
+enum class Backend : std::uint8_t {
+  kSequential = 0,  ///< ranks run one after another on the calling thread
+  kThreads = 1,     ///< ranks run concurrently on a persistent worker pool
+};
+
+/// Short lowercase name ("sequential", "threads").
+const char* backend_name(Backend backend);
+
+/// Parse a backend name: "seq"/"sequential"/"serial" or
+/// "threads"/"thread"/"threaded", case-insensitive. Throws ptilu::Error on
+/// anything else — a typo silently falling back to sequential would defeat
+/// the point of e.g. a tsan CI job exporting PTILU_BACKEND=threads.
+Backend parse_backend(std::string_view name);
+
+/// Backend requested by the PTILU_BACKEND environment variable (unset or
+/// empty means Backend::kSequential; anything unparseable throws). This is
+/// the default for Machine::Options::backend, so the whole test suite can
+/// be re-run threaded without rebuilding.
+Backend backend_from_env();
+
+/// Worker-pool size requested by PTILU_THREADS (0 = pick from hardware
+/// concurrency). Default for Machine::Options::threads.
+int backend_threads_from_env();
 
 /// Cost-model parameters, all in seconds. The defaults approximate one node
 /// of the paper's 128-processor Cray T3D (150 MHz DEC Alpha EV4, 3-D torus
@@ -121,6 +160,14 @@ class RankContext {
   int rank() const { return rank_; }
   int nranks() const;
 
+  /// Scratch-lane index for rank-body-local working storage: 0 under the
+  /// sequential backend (ranks run one after another and may share one
+  /// lane), rank() under the threaded backend (each rank needs its own).
+  /// Allocate Machine::scratch_lanes() lanes and index them with this; the
+  /// results are identical either way because lane scratch is reset between
+  /// uses by construction.
+  int lane() const;
+
   /// Account n floating-point operations of local work.
   void charge_flops(std::uint64_t n);
   /// Account n bytes of local memory traffic (e.g. reduced-matrix copies).
@@ -172,11 +219,17 @@ class Machine {
   /// SPMD conformance checker (conformance.hpp) — default off so modeled
   /// output stays bit-identical, overridable per process with the
   /// PTILU_CHECK environment variable; `transcript_tail` bounds the
-  /// per-rank protocol transcript dumped when a violation is reported.
+  /// per-rank protocol transcript dumped when a violation is reported;
+  /// `backend` selects the superstep execution backend (default from
+  /// PTILU_BACKEND, sequential when unset); `threads` sizes the worker pool
+  /// for Backend::kThreads (0 = hardware concurrency, clamped to nranks;
+  /// default from PTILU_THREADS).
   struct Options {
     MachineParams params = MachineParams::cray_t3d();
     bool check = conformance_enabled_by_env();
     std::size_t transcript_tail = 16;
+    Backend backend = backend_from_env();
+    int threads = backend_threads_from_env();
   };
 
   Machine(int nranks, MachineParams params = MachineParams::cray_t3d());
@@ -188,12 +241,22 @@ class Machine {
   int nranks() const { return nranks_; }
   const MachineParams& params() const { return params_; }
 
-  /// Execute one superstep: the body runs once per rank (deterministically,
-  /// rank 0 first), then all posted messages are delivered and a barrier
-  /// synchronizes the modeled clocks (max over ranks plus a log2(p)
-  /// latency-tree cost). `site` tags the superstep for conformance
-  /// transcripts and violation reports; it costs nothing when checking is
-  /// off and should name the protocol action ("pilut/exchange/request").
+  /// The execution backend this machine runs superstep bodies on.
+  Backend backend() const { return backend_; }
+  /// Number of independent scratch lanes rank bodies should allocate for
+  /// their working storage: 1 under the sequential backend, nranks under
+  /// the threaded one. Index lanes with RankContext::lane().
+  int scratch_lanes() const { return backend_ == Backend::kThreads ? nranks_ : 1; }
+
+  /// Execute one superstep: the body runs once per rank — sequentially in
+  /// rank order, or concurrently on the worker pool under
+  /// Backend::kThreads — then all posted messages are delivered in
+  /// (sender rank, program order) and a barrier synchronizes the modeled
+  /// clocks (max over ranks plus a log2(p) latency-tree cost). The two
+  /// backends are observationally identical. `site` tags the superstep for
+  /// conformance transcripts and violation reports; it costs nothing when
+  /// checking is off and should name the protocol action
+  /// ("pilut/exchange/request").
   void step(const std::function<void(RankContext&)>& body,
             std::string_view site = {});
 
@@ -267,15 +330,52 @@ class Machine {
   void charge_mem(int rank, std::uint64_t n);
   void post(int from, int to, int tag, std::vector<std::byte> payload);
 
+  /// One posted message staged in its *sender's* slot. Staging per sender
+  /// keeps post() free of cross-rank writes; the barrier merges the stages
+  /// destination-wise in sender-rank order, which reproduces exactly the
+  /// (sender rank, program order) delivery the sequential interpreter got
+  /// from pushing straight into per-destination outboxes.
+  struct Posted {
+    int to = 0;
+    Message msg;
+  };
+
+  /// A trace record charged by a rank body under the threaded backend,
+  /// buffered rank-locally and replayed through Trace::record in rank
+  /// order at the barrier (phases never change mid-step, so deferred
+  /// replay sees the same phase tag the sequential backend recorded).
+  struct PendingSpan {
+    double start = 0.0;
+    double end = 0.0;
+    std::uint64_t flops = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t messages = 0;
+    SpanKind kind{};
+  };
+
+  void run_bodies(const std::function<void(RankContext&)>& body);
+  void run_bodies_threaded(const std::function<void(RankContext&)>& body);
+  void flush_pending_trace(int upto_rank);
+  int resolved_pool_size() const;
+
+  class WorkerPool;
+
   int nranks_;
   MachineParams params_;
+  Backend backend_;
+  int threads_option_;
   std::vector<double> clock_;
   std::vector<RankCounters> counters_;
   std::vector<std::vector<Message>> inbox_;   // delivered this superstep
-  std::vector<std::vector<Message>> outbox_;  // posted during this superstep
+  std::vector<std::vector<Posted>> staged_;   // posted this superstep, per sender
   std::uint64_t supersteps_ = 0;
   Trace* trace_ = nullptr;
   bool in_allreduce_ = false;  // tags the enclosing step's barrier spans
+  bool trace_deferred_ = false;  // buffer charges instead of recording live
+  std::vector<std::vector<PendingSpan>> pending_trace_;  // per rank
+  std::vector<double> reduce_real_;   // per-rank allreduce slots
+  std::vector<long long> reduce_ll_;  // per-rank allreduce slots
+  std::unique_ptr<WorkerPool> pool_;  // lazily created for Backend::kThreads
   std::unique_ptr<Conformance> checker_;  // SPMD conformance; null = off
 };
 

@@ -31,6 +31,14 @@ class Cli {
   std::vector<double> get_double_list(const std::string& name,
                                       std::vector<double> fallback) const;
 
+  /// String flag constrained to a fixed set of spellings, e.g.
+  /// --backend=threads. Returns `fallback` when the flag is absent; throws
+  /// ptilu::Error (listing the valid spellings) when a provided value is
+  /// outside `choices`, so a typo fails loud instead of silently falling
+  /// back mid-experiment.
+  std::string get_choice(const std::string& name, const std::string& fallback,
+                         const std::vector<std::string>& choices) const;
+
   /// Call after all gets: throws if any provided flag was never consumed
   /// (catches typos in flag names).
   void check_all_consumed() const;

@@ -2,8 +2,11 @@
 """Validate — and optionally compare — bench_wallclock JSON files.
 
 Validation checks (stdlib only, no third-party dependencies):
-  * the file is valid JSON with "schema": "ptilu-bench-wallclock-v1";
+  * the file is valid JSON with "schema": "ptilu-bench-wallclock-v2"
+    (v1 files, which predate the execution-backend field, still validate);
   * top level carries a boolean "quick" and a positive int "repetitions";
+    v2 additionally records the execution backend ("sequential" or
+    "threads") and the worker-pool size ("threads", 0 = auto);
   * "benches" is a non-empty list; every entry has a unique name, a
     workload, a kind in {factorization, solve}, positive n/nnz, a
     "reps_s" list of `repetitions` positive floats, and median/min/max
@@ -17,21 +20,29 @@ prints the per-bench speedup baseline_median / current_median. With
 --require-speedup X it fails unless every *factorization* bench reaches
 that speedup; with --out PATH it writes CURRENT augmented with
 "baseline_median_s" and "speedup" per bench (the merged file still
-validates as ptilu-bench-wallclock-v1).
+validates under the same schema).
+
+Comparing runs from *different execution backends* is refused by default:
+a sequential-vs-threads wall-clock delta measures the backend, not the
+code change under test. Pass --allow-backend-mismatch when that backend
+speedup is exactly what you mean to measure (checksums still must match —
+the backends are bit-identical by contract).
 
 Exit status 0 on success, 1 on any violation.
 
 Usage:
   check_bench_json.py BENCH.json
   check_bench_json.py --compare OLD.json NEW.json [--require-speedup 1.3]
-                      [--out MERGED.json]
+                      [--out MERGED.json] [--allow-backend-mismatch]
 """
 
 import argparse
 import json
 import sys
 
-SCHEMA = "ptilu-bench-wallclock-v1"
+SCHEMAS = {"ptilu-bench-wallclock-v1", "ptilu-bench-wallclock-v2"}
+SCHEMA_V2 = "ptilu-bench-wallclock-v2"
+BACKENDS = {"sequential", "threads"}
 KINDS = {"factorization", "solve"}
 REL_EPS = 1e-9
 
@@ -50,8 +61,16 @@ def validate(doc, path, errors):
     if not isinstance(doc, dict):
         errors.append(f"{path}: top level is not a JSON object")
         return
-    if doc.get("schema") != SCHEMA:
-        errors.append(f"{path}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    if doc.get("schema") not in SCHEMAS:
+        errors.append(
+            f"{path}: schema is {doc.get('schema')!r}, want one of {sorted(SCHEMAS)}")
+    if doc.get("schema") == SCHEMA_V2:
+        if doc.get("backend") not in BACKENDS:
+            errors.append(
+                f"{path}: 'backend' is {doc.get('backend')!r}, want one of {sorted(BACKENDS)}")
+        threads = doc.get("threads")
+        if not isinstance(threads, int) or threads < 0:
+            errors.append(f"{path}: 'threads' must be a non-negative int")
     if not isinstance(doc.get("quick"), bool):
         errors.append(f"{path}: missing boolean 'quick'")
     reps = doc.get("repetitions")
@@ -103,6 +122,16 @@ def validate(doc, path, errors):
 
 
 def compare(baseline, current, args, errors):
+    # v1 files predate Options::backend, when only the sequential
+    # interpreter existed.
+    base_backend = baseline.get("backend", "sequential")
+    cur_backend = current.get("backend", "sequential")
+    if base_backend != cur_backend and not args.allow_backend_mismatch:
+        errors.append(
+            f"execution backend mismatch (baseline {base_backend!r}, current "
+            f"{cur_backend!r}): the speedup would measure the backend, not the "
+            f"change under test — pass --allow-backend-mismatch if that is intended")
+        return
     base_by_name = {b["name"]: b for b in baseline["benches"]}
     rows = []
     for bench in current["benches"]:
@@ -151,6 +180,9 @@ def main() -> int:
                         help="fail unless every factorization bench reaches this speedup")
     parser.add_argument("--out", default=None,
                         help="with --compare: write CURRENT merged with baseline medians")
+    parser.add_argument("--allow-backend-mismatch", action="store_true",
+                        help="permit --compare across different execution backends "
+                             "(e.g. to measure the threaded backend's speedup)")
     args = parser.parse_args()
 
     if args.compare and len(args.files) != 2:
@@ -174,7 +206,8 @@ def main() -> int:
     if not args.compare:
         doc = docs[0]
         print(f"OK: {args.files[0]}: {len(doc['benches'])} benches, "
-              f"{doc['repetitions']} repetitions")
+              f"{doc['repetitions']} repetitions, "
+              f"backend {doc.get('backend', 'sequential')}")
     return 0
 
 

@@ -31,7 +31,7 @@ idx DistGraph::total_edges_directed() const {
   return total;
 }
 
-void DistMisScratch::ensure(int nranks, idx n_global) {
+void DistMisScratch::ensure(int nranks, int lanes, idx n_global) {
   if (static_cast<int>(status.size()) < nranks) status.resize(nranks);
   for (auto& s : status) {
     if (static_cast<idx>(s.size()) < n_global) s.assign(n_global, kCandidate);
@@ -45,10 +45,22 @@ void DistMisScratch::ensure(int nranks, idx n_global) {
     peer_start.resize(nranks);
     peer_list.resize(nranks);
   }
-  if (static_cast<int>(peer_stamp.size()) < nranks) peer_stamp.assign(nranks, 0);
-  if (static_cast<idx>(key.size()) < n_global) {
-    key.resize(n_global);
-    key_stamp.assign(n_global, 0);
+  if (static_cast<int>(peer_stamp.size()) < lanes) peer_stamp.resize(lanes);
+  for (auto& stamp : peer_stamp) {
+    if (static_cast<int>(stamp.size()) < nranks) stamp.assign(nranks, 0);
+  }
+  if (static_cast<int>(recv_buf.size()) < lanes) recv_buf.resize(lanes);
+  if (static_cast<int>(selected.size()) < lanes) selected.resize(lanes);
+  if (static_cast<int>(cand_lane.size()) < lanes) cand_lane.resize(lanes, 0);
+  if (static_cast<int>(key.size()) < lanes) {
+    key.resize(lanes);
+    key_stamp.resize(lanes);
+  }
+  for (int l = 0; l < lanes; ++l) {
+    if (static_cast<idx>(key[l].size()) < n_global) {
+      key[l].resize(n_global);
+      key_stamp[l].assign(n_global, 0);
+    }
   }
 }
 
@@ -62,7 +74,7 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
 
   DistMisScratch local_scratch;
   DistMisScratch& sc = scratch != nullptr ? *scratch : local_scratch;
-  sc.ensure(nranks, graph.n_global);
+  sc.ensure(nranks, machine.scratch_lanes(), graph.n_global);
 
   // Self-tagging: callers need not (and should not) wrap mis_dist in a
   // phase of their own; the tag nests under whatever phase is active.
@@ -85,6 +97,7 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
     auto& touched = sc.touched[r];
     auto& pstart = sc.peer_start[r];
     auto& plist = sc.peer_list[r];
+    auto& peer_stamp = sc.peer_stamp[static_cast<std::size_t>(ctx.lane())];
     const IdxVec& verts = graph.verts_of[r];
     pstart.clear();
     pstart.reserve(verts.size() + 1);
@@ -101,13 +114,13 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
         if (peer != r) {
           status[u] = kCandidate;  // mirror entry
           touched.push_back(u);
-          if (!sc.peer_stamp[peer]) {
-            sc.peer_stamp[peer] = 1;
+          if (!peer_stamp[peer]) {
+            peer_stamp[peer] = 1;
             plist.push_back(peer);
           }
         }
       }
-      for (std::size_t p = first_peer; p < plist.size(); ++p) sc.peer_stamp[plist[p]] = 0;
+      for (std::size_t p = first_peer; p < plist.size(); ++p) peer_stamp[plist[p]] = 0;
       pstart.push_back(static_cast<idx>(plist.size()));
     }
     ctx.charge_mem(scanned * sizeof(idx));
@@ -141,25 +154,18 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
   };
 
   long long candidates_left = 1;
-  IdxVec selected;  // per-rank winners, reused across ranks and rounds
   {
   sim::ScopedPhase rounds_span(tr, "rounds");
   for (int round = 0; round < opts.rounds && candidates_left > 0; ++round) {
-    candidates_left = 0;
     // New memo epoch for this round's vertex keys. A key depends only on
-    // (seed, vertex, round), so the memo is safely shared by all ranks; on
-    // the (never reached in practice) epoch wrap, invalidate the stamps.
+    // (seed, vertex, round), so the per-lane memos all compute the same
+    // values; on the (never reached in practice) epoch wrap, invalidate
+    // every lane's stamps.
     if (++sc.round_epoch == 0) {
-      std::fill(sc.key_stamp.begin(), sc.key_stamp.end(), 0u);
+      for (auto& stamps : sc.key_stamp) std::fill(stamps.begin(), stamps.end(), 0u);
       sc.round_epoch = 1;
     }
-    const auto key_of = [&](idx v) {
-      if (sc.key_stamp[v] != sc.round_epoch) {
-        sc.key_stamp[v] = sc.round_epoch;
-        sc.key[v] = vertex_key(opts.seed, v, round);
-      }
-      return sc.key[v];
-    };
+    std::fill(sc.cand_lane.begin(), sc.cand_lane.end(), 0);
     // One superstep per round: apply deferred mirror updates, dominate owned
     // candidates that gained an In neighbor, then select strict local key
     // minima among the remaining candidates. Selection uses only
@@ -168,12 +174,23 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
     // paper obtains with its two-step insert-then-retract modification.
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
+      const auto lane = static_cast<std::size_t>(ctx.lane());
       auto& status = sc.status[r];
+      IdxVec& recv_buf = sc.recv_buf[lane];
+      auto& key = sc.key[lane];
+      auto& key_stamp = sc.key_stamp[lane];
+      const auto key_of = [&](idx v) {
+        if (key_stamp[v] != sc.round_epoch) {
+          key_stamp[v] = sc.round_epoch;
+          key[v] = vertex_key(opts.seed, v, round);
+        }
+        return key[v];
+      };
       for (const sim::Message& msg : ctx.recv_all()) {
         const std::uint8_t value = msg.tag == kTagIn ? kIn : kOut;
-        sc.recv_buf.clear();
-        sim::decode_indices_append(msg, sc.recv_buf);
-        for (const idx v : sc.recv_buf) status[v] = value;
+        recv_buf.clear();
+        sim::decode_indices_append(msg, recv_buf);
+        for (const idx v : recv_buf) status[v] = value;
       }
 
       const IdxVec& verts = graph.verts_of[r];
@@ -193,6 +210,7 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
       }
       // Selection sweep (round-start statuses; domination above only uses
       // information already final at round start, i.e. In vertices).
+      IdxVec& selected = sc.selected[lane];
       selected.clear();
       for (std::size_t i = 0; i < verts.size(); ++i) {
         const idx v = verts[i];
@@ -224,9 +242,13 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
           notify(r, pos, u, out_batch[r]);
         }
       }
-      for (const idx v : verts) candidates_left += status[v] == kCandidate;
+      for (const idx v : verts) sc.cand_lane[lane] += status[v] == kCandidate;
       flush_batches(ctx, r);
     }, "mis/round");
+    // Integer sum of the per-lane partials: order-independent, so one
+    // shared sequential lane and p threaded lanes agree exactly.
+    candidates_left = 0;
+    for (const long long c : sc.cand_lane) candidates_left += c;
   }
   }
 

@@ -19,14 +19,19 @@ class DistBlas {
       : machine_(&machine), dist_(&dist) {}
 
   real dot(const RealVec& x, const RealVec& y) const {
-    real total = 0.0;
+    // Each rank writes its own slot; the host-side combine below runs in
+    // rank order, so the floating-point sum is bit-identical no matter in
+    // which order (or how concurrently) the rank bodies executed.
+    partials_.assign(static_cast<std::size_t>(machine_->nranks()), 0.0);
     machine_->step([&](sim::RankContext& ctx) {
       real partial = 0.0;
       for (const idx i : dist_->owned_rows[ctx.rank()]) partial += x[i] * y[i];
       ctx.charge_flops(2 * dist_->owned_rows[ctx.rank()].size());
       ctx.declare_collective(sim::CollectiveOp::kSum, sizeof(real), "gmres/dot");
-      total += partial;
+      partials_[static_cast<std::size_t>(ctx.rank())] = partial;
     }, "gmres/dot");
+    real total = 0.0;
+    for (const real p : partials_) total += p;
     return total;
   }
 
@@ -50,6 +55,7 @@ class DistBlas {
  private:
   sim::Machine* machine_;
   const DistCsr* dist_;
+  mutable RealVec partials_;  // per-rank dot partials, combined in rank order
 };
 
 }  // namespace

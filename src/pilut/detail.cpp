@@ -6,6 +6,23 @@
 
 namespace ptilu::pilut_detail {
 
+std::vector<Lane> make_lanes(const sim::Machine& machine, idx n) {
+  std::vector<Lane> lanes;
+  const int count = machine.scratch_lanes();
+  lanes.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) lanes.emplace_back(n);
+  return lanes;
+}
+
+void merge_lane_stats(std::vector<Lane>& lanes, PilutStats& stats) {
+  for (Lane& lane : lanes) {
+    stats.pivots_guarded += lane.pivots_guarded;
+    stats.max_reduced_row = std::max(stats.max_reduced_row, lane.max_reduced_row);
+    lane.pivots_guarded = 0;
+    lane.max_reduced_row = 0;
+  }
+}
+
 void assemble_factors(const std::vector<SparseRow>& lrows,
                       const std::vector<SparseRow>& urows, const IdxVec& newnum,
                       IluFactors& out) {
@@ -40,7 +57,7 @@ void assemble_factors(const std::vector<SparseRow>& lrows,
 
 void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
                         const PilutOptions& opts, const RealVec& norms,
-                        FactorState& state, WorkingRow& w, FactorScratch& scratch,
+                        FactorState& state, std::vector<Lane>& lanes,
                         PilutSchedule& sched, PilutStats& stats) {
   const Csr& a = dist.a;
   const int nranks = dist.nranks;
@@ -60,6 +77,9 @@ void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
   sim::ScopedPhase phase(machine.trace(), "factor/interior");
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
+    Lane& lane = lanes[static_cast<std::size_t>(ctx.lane())];
+    WorkingRow& w = lane.w;
+    FactorScratch& scratch = lane.scratch;
     std::uint64_t flops = 0;
     for (const idx i : dist.owned_rows[r]) {
       if (dist.interface[i]) continue;
@@ -93,7 +113,8 @@ void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
       select_largest(lstage, opts.m, tau_i, -1, scratch.kept);
       select_largest(ustage, opts.m, tau_i, -1, scratch.kept);
       diag = guarded_pivot(i, diag,
-                           opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0, stats);
+                           opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0,
+                           lane.pivots_guarded);
       state.udiag[i] = diag;
       state.lrows[i].cols = lstage.cols;  // exact-sized survivor copies
       state.lrows[i].vals = lstage.vals;
@@ -108,12 +129,15 @@ void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
 
 void run_initial_reduction(sim::Machine& machine, const DistCsr& dist,
                            const PilutOptions& opts, const RealVec& norms,
-                           idx tail_cap, FactorState& state, WorkingRow& w,
-                           FactorScratch& scratch, PilutStats& stats) {
+                           idx tail_cap, FactorState& state,
+                           std::vector<Lane>& lanes) {
   const Csr& a = dist.a;
   sim::ScopedPhase phase(machine.trace(), "factor/interface/form_reduced");
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
+    Lane& lane = lanes[static_cast<std::size_t>(ctx.lane())];
+    WorkingRow& w = lane.w;
+    FactorScratch& scratch = lane.scratch;
     std::uint64_t flops = 0, copied = 0;
     for (const idx i : dist.owned_rows[r]) {
       if (!dist.interface[i]) continue;
@@ -145,8 +169,8 @@ void run_initial_reduction(sim::Machine& machine, const DistCsr& dist,
       if (tail_cap > 0) {
         select_largest(tail, tail_cap, 0.0, /*always_keep=*/i, scratch.kept);  // ILUT* cap
       }
-      stats.max_reduced_row =
-          std::max(stats.max_reduced_row, static_cast<nnz_t>(tail.size()));
+      lane.max_reduced_row =
+          std::max(lane.max_reduced_row, static_cast<nnz_t>(tail.size()));
       copied += tail.size() * (sizeof(idx) + sizeof(real));
       w.clear();
     }

@@ -13,16 +13,42 @@
 namespace ptilu::pilut_detail {
 
 /// Shared state of a parallel factorization, indexed by ORIGINAL row ids.
+/// Rank bodies write only slots they own, so concurrent ranks never touch
+/// the same element — which is also why `factored` is a byte vector, not
+/// std::vector<bool>: adjacent bits of a packed bitmap share a word, and
+/// rank-disjoint writes would still race under the threaded backend.
 struct FactorState {
   std::vector<SparseRow> lrows;  // final L rows (factored columns, orig ids)
   std::vector<SparseRow> urows;  // final U rows (diag first, orig ids)
   RealVec udiag;
   std::vector<SparseRow> tails;  // reduced-matrix rows of unfactored interface rows
-  std::vector<bool> factored;
+  std::vector<std::uint8_t> factored;
 
   explicit FactorState(idx n)
-      : lrows(n), urows(n), udiag(n, 0.0), tails(n), factored(n, false) {}
+      : lrows(n), urows(n), udiag(n, 0.0), tails(n), factored(n, 0) {}
 };
+
+/// Per-lane working storage for rank bodies. Sequential backend: one lane,
+/// shared by the ranks as they run one after another (exactly the seed
+/// behavior). Threaded backend: one lane per rank, so bodies never share
+/// mutable scratch. Results are identical either way — every field is
+/// cleared between rows, and the stat fields are integer partials whose
+/// merge (sum / max) is order-independent.
+struct Lane {
+  WorkingRow w;
+  FactorScratch scratch;
+  std::uint64_t pivots_guarded = 0;
+  nnz_t max_reduced_row = 0;
+
+  explicit Lane(idx n) : w(n) {}
+};
+
+/// machine.scratch_lanes() lanes, each with an n-column working row.
+std::vector<Lane> make_lanes(const sim::Machine& machine, idx n);
+
+/// Fold the per-lane stat partials into `stats` (in lane order) and zero
+/// them. Call once per factorization, after the last lane-using step.
+void merge_lane_stats(std::vector<Lane>& lanes, PilutStats& stats);
 
 /// Cascading elimination of the working row against factored rows chosen by
 /// the `eliminatable` predicate; the heap orders columns by the comparator
@@ -77,24 +103,25 @@ inline void emit_urow(SparseRow& urow, idx i, real diag, const SparseRow& upper)
 /// rank-major into sched (caller must have sized sched.newnum).
 void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
                         const PilutOptions& opts, const RealVec& norms,
-                        FactorState& state, WorkingRow& w, FactorScratch& scratch,
+                        FactorState& state, std::vector<Lane>& lanes,
                         PilutSchedule& sched, PilutStats& stats);
 
 /// Phase 1b: interface rows eliminate their local interior columns, forming
 /// the initial reduced rows (tails). tail_cap 0 keeps everything (ILUT).
 void run_initial_reduction(sim::Machine& machine, const DistCsr& dist,
                            const PilutOptions& opts, const RealVec& norms,
-                           idx tail_cap, FactorState& state, WorkingRow& w,
-                           FactorScratch& scratch, PilutStats& stats);
+                           idx tail_cap, FactorState& state,
+                           std::vector<Lane>& lanes);
 
 /// Finalize stats fields from the machine counters.
 void finish_stats(const sim::Machine& machine, PilutStats& stats);
 
-inline real guarded_pivot(idx row, real diag, real floor_abs, PilutStats& stats) {
+inline real guarded_pivot(idx row, real diag, real floor_abs,
+                          std::uint64_t& pivots_guarded) {
   if (std::abs(diag) >= floor_abs && diag != 0.0) return diag;
   PTILU_CHECK(floor_abs > 0.0,
               "zero pivot at row " << row << " (enable pivot_rel to guard)");
-  ++stats.pivots_guarded;
+  ++pivots_guarded;
   return diag == 0.0 ? floor_abs : std::copysign(floor_abs, diag);
 }
 

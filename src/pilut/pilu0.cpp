@@ -18,6 +18,7 @@ constexpr int kTagUCols = 11;
 constexpr int kTagUVals = 12;
 
 using pilut_detail::guarded_pivot;
+using pilut_detail::Lane;
 
 }  // namespace
 
@@ -52,14 +53,16 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
 
   std::vector<SparseRow> lrows(n), urows(n);
   RealVec udiag(n, 0.0);
-  WorkingRow w(n);
-  FactorScratch scratch;
+  // Per-lane scratch: one lane sequentially, one per rank when threaded
+  // (see pilut_detail::Lane).
+  std::vector<Lane> lanes = pilut_detail::make_lanes(machine, n);
 
   // The zero-fill numeric kernel: load the pattern row, eliminate the given
   // factored columns in ascending new-number order, updates restricted to
   // existing pattern positions.
-  const auto factor_row = [&](idx i, const IdxVec& factored_cols,
+  const auto factor_row = [&](Lane& lane, idx i, const IdxVec& factored_cols,
                               const auto& urow_of) -> std::uint64_t {
+    WorkingRow& w = lane.w;
     std::uint64_t flops = 0;
     bool diag_present = false;
     for (nnz_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
@@ -84,9 +87,10 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
     return flops;
   };
 
-  const auto split_row = [&](idx i, const auto& is_factored) {
+  const auto split_row = [&](Lane& lane, idx i, const auto& is_factored) {
+    WorkingRow& w = lane.w;
     SparseRow& lrow = lrows[i];
-    SparseRow& upper = scratch.ustage;  // pooled staging for the U part
+    SparseRow& upper = lane.scratch.ustage;  // pooled staging for the U part
     upper.clear();
     real diag = 0.0;
     for (const idx c : w.touched()) {
@@ -99,7 +103,7 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
       }
     }
     diag = guarded_pivot(i, diag, opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0,
-                         stats);
+                         lane.pivots_guarded);
     udiag[i] = diag;
     pilut_detail::emit_urow(urows[i], i, diag, upper);
     w.clear();
@@ -112,6 +116,7 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
   sim::ScopedPhase span(tr, "factor/interior");
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
+    Lane& lane = lanes[static_cast<std::size_t>(ctx.lane())];
     std::uint64_t flops = 0;
     IdxVec factored_cols;
     for (const idx i : dist.owned_rows[r]) {
@@ -121,9 +126,9 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
         const idx c = a.col_idx[k];
         if (c < i && !dist.interface[c]) factored_cols.push_back(c);
       }
-      flops += factor_row(i, factored_cols,
+      flops += factor_row(lane, i, factored_cols,
                           [&](idx k) -> const SparseRow& { return urows[k]; });
-      split_row(i, [&](idx c) { return c < i && !dist.interface[c]; });
+      split_row(lane, i, [&](idx c) { return c < i && !dist.interface[c]; });
     }
     ctx.charge_flops(flops);
   }, "pilu0/interior");
@@ -310,6 +315,7 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
         return it->second;
       };
 
+      Lane& lane = lanes[static_cast<std::size_t>(ctx.lane())];
       std::uint64_t flops = 0;
       IdxVec factored_cols;
       for (const idx i : active[r]) {
@@ -325,8 +331,8 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
         std::sort(factored_cols.begin(), factored_cols.end(), [&](idx x, idx y) {
           return sched.newnum[x] < sched.newnum[y];
         });
-        flops += factor_row(i, factored_cols, urow_of);
-        split_row(i, [&](idx c) {
+        flops += factor_row(lane, i, factored_cols, urow_of);
+        split_row(lane, i, [&](idx c) {
           return !dist.interface[c] || factored_interface[c];
         });
       }
@@ -337,6 +343,7 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
   }
   machine.check_quiescent("pilu0/end");
 
+  pilut_detail::merge_lane_stats(lanes, stats);
   stats.time_interface = machine.modeled_time() - stats.time_interior;
   stats.time_total = machine.modeled_time();
   const auto totals = machine.total_counters();

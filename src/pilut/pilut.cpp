@@ -19,6 +19,30 @@ constexpr int kTagUVals = 12;
 
 using pilut_detail::FactorState;
 using pilut_detail::guarded_pivot;
+using pilut_detail::Lane;
+
+/// Per-lane per-level working structures (see pilut_detail::Lane for the
+/// lane model). Hoisted out of the level loop so their nested buffers keep
+/// their capacity across the hundreds of reduced-matrix levels. Sequential
+/// backend: a single lane shared by the ranks running one after another,
+/// exactly the seed behavior; threaded backend: one lane per rank, so
+/// concurrent bodies never share mutable scratch.
+struct LevelLane {
+  std::vector<IdxVec> reverse_out;  // setup: peer -> (target, source) pairs
+  std::vector<IdxVec> requests;     // exchange: peer -> requested U rows
+  // Received remote U rows, pooled: a dense row -> slot map plus a slab of
+  // reusable SparseRows (assign() keeps their capacity level over level).
+  IdxVec remote_slot;
+  std::vector<SparseRow> remote_pool;
+  IdxVec remote_rows;  // rows whose remote_slot is currently set
+  IdxVec ucols_buf;    // reduce: concatenated U-row column payloads
+  RealVec uvals_buf;   // reduce: concatenated U-row value payloads
+  IdxVec elim_cols;    // reduce: this row's I_l columns
+  long long edges = 0;  // setup: this lane's share of the edge count
+
+  LevelLane(int nranks, idx n)
+      : reverse_out(nranks), requests(nranks), remote_slot(n, -1) {}
+};
 
 }  // namespace
 
@@ -55,12 +79,13 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
   sched.newnum.assign(n, -1);
 
   FactorState state(n);
-  WorkingRow w(n);        // scratch, reused across ranks (cleared between rows)
-  FactorScratch scratch;  // pooled heap/staging/survivor buffers, likewise
-  pilut_detail::run_interior_phase(machine, dist, opts, norms, state, w, scratch,
+  // Per-lane scratch: one lane sequentially (reused across ranks, cleared
+  // between rows — the seed behavior), one per rank when threaded.
+  std::vector<Lane> lanes = pilut_detail::make_lanes(machine, n);
+  pilut_detail::run_interior_phase(machine, dist, opts, norms, state, lanes,
                                   sched, stats);
-  pilut_detail::run_initial_reduction(machine, dist, opts, norms, tail_cap, state, w,
-                                      scratch, stats);
+  pilut_detail::run_initial_reduction(machine, dist, opts, norms, tail_cap, state,
+                                      lanes);
   idx next_num = sched.n_interior;
   // Dense per-level scratch arrays (active vertex sets are disjoint across
   // ranks, so sharing them is safe and avoids hash-map churn in the hot
@@ -69,26 +94,14 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
   std::vector<std::uint8_t> in_set(n, 0);  // membership stamp for the current I_l
   DistMisScratch mis_scratch;              // dense status arrays reused per level
 
-  // Per-level working structures, hoisted so their (nested) buffers keep
-  // their capacity across the hundreds of reduced-matrix levels instead of
-  // being reallocated from scratch each time. Ranks execute sequentially
-  // inside a superstep, so the per-peer staging buffers can be shared by
-  // all ranks as long as each rank leaves them empty (flushed after use).
   DistGraph graph;  // adjacency + vertex lists of the reduced matrix
   graph.n_global = n;
   graph.owner = &dist.owner;
   graph.verts_of.resize(nranks);
   graph.adj.resize(nranks);
-  std::vector<IdxVec> reverse_out(nranks);  // setup: peer -> (target, source) pairs
-  std::vector<IdxVec> requests(nranks);     // exchange: peer -> requested U rows
-  // Received remote U rows, pooled: a dense row -> slot map plus a slab of
-  // reusable SparseRows (assign() keeps their capacity level over level).
-  IdxVec remote_slot(n, -1);
-  std::vector<SparseRow> remote_pool;
-  IdxVec remote_rows;  // rows whose remote_slot is currently set
-  IdxVec ucols_buf;    // reduce: concatenated U-row column payloads
-  RealVec uvals_buf;   // reduce: concatenated U-row value payloads
-  IdxVec elim_cols;    // reduce: this row's I_l columns
+  std::vector<LevelLane> level_lanes;
+  level_lanes.reserve(static_cast<std::size_t>(machine.scratch_lanes()));
+  for (int i = 0; i < machine.scratch_lanes(); ++i) level_lanes.emplace_back(nranks, n);
 
   // ================= Phase 2: iterative interface factorization ===========
   std::vector<IdxVec> active(nranks);  // per rank: unfactored interface rows
@@ -112,11 +125,12 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
     // directed adjacency of vertex v is its tail pattern; reverse edges to
     // remote owners travel in one superstep (the "communication setup").
     std::vector<std::vector<IdxVec>>& adj = graph.adj;
-    long long edges = 0;
     {
     sim::ScopedPhase span(tr, "setup");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
+      std::vector<IdxVec>& reverse_out =
+          level_lanes[static_cast<std::size_t>(ctx.lane())].reverse_out;
       for (auto& neighbors : adj[r]) neighbors.clear();  // keep inner capacity
       adj[r].resize(active[r].size());
       for (std::size_t i = 0; i < active[r].size(); ++i) {
@@ -148,6 +162,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
     }, "pilut/setup/reverse_edges");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
+      LevelLane& lane = level_lanes[static_cast<std::size_t>(ctx.lane())];
       IdxVec pairs;
       for (const sim::Message& msg : ctx.recv_all()) {
         pairs.clear();
@@ -162,8 +177,15 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
       for (const auto& neighbors : adj[r]) {
         local_edges += static_cast<long long>(neighbors.size());
       }
-      edges += local_edges;  // accumulated across ranks: acts as allreduce input
+      lane.edges += local_edges;  // per-lane partial; summed after the step
     }, "pilut/setup/apply_reverse");
+    }
+    // Fold the per-lane edge partials (integer sum: order-independent, so
+    // one shared sequential lane and p threaded lanes agree bit-for-bit).
+    long long edges = 0;
+    for (LevelLane& lane : level_lanes) {
+      edges += lane.edges;
+      lane.edges = 0;
     }
 
     // --- Choose the independent set I_l.
@@ -205,6 +227,8 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
     sim::ScopedPhase span(tr, "factor");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
+      Lane& lane = lanes[static_cast<std::size_t>(ctx.lane())];
+      FactorScratch& scratch = lane.scratch;
       std::uint64_t flops = 0;
       for (const idx v : active[r]) {
         if (!in_set[v]) continue;
@@ -223,7 +247,8 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
         flops += tail.size();
         select_largest(ustage, opts.m, tau_v, -1, scratch.kept);  // 2nd dropping rule
         diag = guarded_pivot(v, diag,
-                             opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[v] : 0.0, stats);
+                             opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[v] : 0.0,
+                             lane.pivots_guarded);
         state.udiag[v] = diag;
         pilut_detail::emit_urow(state.urows[v], v, diag, ustage);
         state.factored[v] = true;
@@ -240,6 +265,8 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
     sim::ScopedPhase span(tr, "exchange");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
+      std::vector<IdxVec>& requests =
+          level_lanes[static_cast<std::size_t>(ctx.lane())].requests;
       for (const idx i : active[r]) {
         if (in_set[i]) continue;
         for (const idx c : state.tails[i].cols) {
@@ -256,9 +283,10 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
       }
     }, "pilut/exchange/request");
     machine.step([&](sim::RankContext& ctx) {
-      IdxVec& requested = elim_cols;  // idle here; reused as decode scratch
-      IdxVec& cols_payload = ucols_buf;
-      RealVec& vals_payload = uvals_buf;
+      LevelLane& ll = level_lanes[static_cast<std::size_t>(ctx.lane())];
+      IdxVec& requested = ll.elim_cols;  // idle here; reused as decode scratch
+      IdxVec& cols_payload = ll.ucols_buf;
+      RealVec& vals_payload = ll.uvals_buf;
       for (const sim::Message& msg : ctx.recv_all()) {
         PTILU_CHECK(msg.tag == kTagUReq, "unexpected message during U exchange");
         requested.clear();
@@ -284,12 +312,20 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
     sim::ScopedPhase span(tr, "reduce");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
-      // Release the previous rank's remote-row bindings, then reassemble
+      Lane& lane = lanes[static_cast<std::size_t>(ctx.lane())];
+      LevelLane& ll = level_lanes[static_cast<std::size_t>(ctx.lane())];
+      WorkingRow& w = lane.w;
+      FactorScratch& scratch = lane.scratch;
+      IdxVec& remote_slot = ll.remote_slot;
+      std::vector<SparseRow>& remote_pool = ll.remote_pool;
+      IdxVec& remote_rows = ll.remote_rows;
+      IdxVec& elim_cols = ll.elim_cols;
+      // Release this lane's previous remote-row bindings, then reassemble
       // this rank's received rows into pooled slots.
       for (const idx row : remote_rows) remote_slot[row] = -1;
       remote_rows.clear();
-      IdxVec& cols_payload = ucols_buf;
-      RealVec& vals_payload = uvals_buf;
+      IdxVec& cols_payload = ll.ucols_buf;
+      RealVec& vals_payload = ll.uvals_buf;
       cols_payload.clear();
       vals_payload.clear();
       for (const sim::Message& msg : ctx.recv_all()) {
@@ -374,8 +410,8 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
           tail.push(c, w.value(c));
         }
         if (tail_cap > 0) select_largest(tail, tail_cap, 0.0, i, scratch.kept);
-        stats.max_reduced_row =
-            std::max(stats.max_reduced_row, static_cast<nnz_t>(tail.size()));
+        lane.max_reduced_row =
+            std::max(lane.max_reduced_row, static_cast<nnz_t>(tail.size()));
         copied += tail.size() * (sizeof(idx) + sizeof(real));
         w.clear();
       }
@@ -402,6 +438,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
   PTILU_CHECK(next_num == n, "numbering did not cover all rows");
   machine.check_quiescent("pilut/end");
 
+  pilut_detail::merge_lane_stats(lanes, stats);
   pilut_detail::finish_stats(machine, stats);
 
   // ===================== Assembly into the new ordering ====================

@@ -14,6 +14,7 @@ namespace {
 
 using pilut_detail::FactorState;
 using pilut_detail::guarded_pivot;
+using pilut_detail::Lane;
 
 /// Bytes moved when a reduced row migrates to a new host.
 std::uint64_t row_bytes(const SparseRow& tail, const SparseRow& lpart) {
@@ -43,12 +44,13 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
   sched.newnum.assign(n, -1);
 
   FactorState state(n);
-  WorkingRow w(n);
-  FactorScratch scratch;
-  pilut_detail::run_interior_phase(machine, dist, opts, norms, state, w, scratch,
+  // Per-lane scratch: one lane sequentially, one per rank when threaded
+  // (see pilut_detail::Lane).
+  std::vector<Lane> lanes = pilut_detail::make_lanes(machine, n);
+  pilut_detail::run_interior_phase(machine, dist, opts, norms, state, lanes,
                                   sched, stats);
-  pilut_detail::run_initial_reduction(machine, dist, opts, norms, tail_cap, state, w,
-                                      scratch, stats);
+  pilut_detail::run_initial_reduction(machine, dist, opts, norms, tail_cap, state,
+                                      lanes);
   idx next_num = sched.n_interior;
   sched.level_start.push_back(sched.n_interior);
 
@@ -73,6 +75,9 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
   const auto run_stage = [&]() {
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
+      Lane& lane = lanes[static_cast<std::size_t>(ctx.lane())];
+      WorkingRow& w = lane.w;
+      FactorScratch& scratch = lane.scratch;
       std::uint64_t flops = 0, copied = 0;
       const auto by_newnum = [&](idx x, idx y) {
         return sched.newnum[x] > sched.newnum[y];  // min-heap on new number
@@ -115,7 +120,7 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
         select_largest(ustage, opts.m, tau_i, -1, scratch.kept);
         diag = guarded_pivot(i, diag,
                              opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0,
-                             stats);
+                             lane.pivots_guarded);
         state.udiag[i] = diag;
         state.lrows[i].cols = lstage.cols;
         state.lrows[i].vals = lstage.vals;
@@ -157,8 +162,8 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
           if (!eliminatable(c)) tail.push(c, w.value(c));
         }
         if (tail_cap > 0) select_largest(tail, tail_cap, 0.0, i, scratch.kept);
-        stats.max_reduced_row =
-            std::max(stats.max_reduced_row, static_cast<nnz_t>(tail.size()));
+        lane.max_reduced_row =
+            std::max(lane.max_reduced_row, static_cast<nnz_t>(tail.size()));
         copied += tail.size() * (sizeof(idx) + sizeof(real));
         w.clear();
       }
@@ -208,23 +213,32 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
       verts.insert(verts.end(), active[r].begin(), active[r].end());
     }
     for (std::size_t c = 0; c < verts.size(); ++c) compact_of[verts[c]] = static_cast<idx>(c);
-    std::vector<std::pair<idx, idx>> edges;
+    // Per-lane edge lists, concatenated lane 0..p-1 after the step: the
+    // concatenation order equals the sequential append order (ranks run
+    // 0..p-1 into one shared lane), and that order feeds partition_kway.
+    std::vector<std::vector<std::pair<idx, idx>>> edge_lanes(
+        static_cast<std::size_t>(machine.scratch_lanes()));
     {
       sim::ScopedPhase span(tr, "graph");
       machine.step([&](sim::RankContext& ctx) {
         const int r = ctx.rank();
+        auto& lane_edges = edge_lanes[static_cast<std::size_t>(ctx.lane())];
         std::uint64_t scanned = 0;
         for (const idx v : active[r]) {
           for (const idx c : state.tails[v].cols) {
             if (c == v) continue;
             ++scanned;
-            edges.emplace_back(compact_of[v], compact_of[c]);
+            lane_edges.emplace_back(compact_of[v], compact_of[c]);
           }
         }
         ctx.charge_mem(scanned * sizeof(idx));
       }, "nested/graph");
       machine.collective(static_cast<std::uint64_t>(verts.size()) * sizeof(idx) / nranks +
                          sizeof(idx), "nested/graph_gather");
+    }
+    std::vector<std::pair<idx, idx>> edges;
+    for (auto& lane_edges : edge_lanes) {
+      edges.insert(edges.end(), lane_edges.begin(), lane_edges.end());
     }
     const Graph reduced_graph = graph_from_edges(static_cast<idx>(verts.size()), edges);
     const Partition part = partition_kway(reduced_graph, nranks,
@@ -312,6 +326,7 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
   PTILU_CHECK(next_num == n, "nested numbering did not cover all rows");
   machine.check_quiescent("nested/end");
 
+  pilut_detail::merge_lane_stats(lanes, stats);
   pilut_detail::finish_stats(machine, stats);
   sched.orig_of = invert_permutation(sched.newnum);
   sched.owner_new.resize(n);

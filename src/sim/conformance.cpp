@@ -47,16 +47,22 @@ Conformance::Conformance(int nranks, std::size_t transcript_tail)
     : nranks_(nranks),
       tail_(transcript_tail > 0 ? transcript_tail : 1),
       pending_(static_cast<std::size_t>(nranks)),
-      outbox_(static_cast<std::size_t>(nranks)),
+      staged_(static_cast<std::size_t>(nranks)),
       inbox_(static_cast<std::size_t>(nranks)),
       drained_(static_cast<std::size_t>(nranks), 0),
       events_(static_cast<std::size_t>(nranks)),
-      events_next_(static_cast<std::size_t>(nranks), 0) {
+      events_next_(static_cast<std::size_t>(nranks), 0),
+      step_events_(static_cast<std::size_t>(nranks)) {
   sites_.emplace_back();  // id 0: the untagged site
   site_ids_.emplace("", 0);
 }
 
 std::uint32_t Conformance::intern(std::string_view site) {
+  // Interning is shared across ranks; under the threaded backend workers
+  // intern collective tags concurrently. Same string always maps to the
+  // same id regardless of arrival order, and ids never appear in reports
+  // (names do), so the lock is all the determinism needed.
+  const std::lock_guard<std::mutex> lock(site_mutex_);
   const auto it = site_ids_.find(site);
   if (it != site_ids_.end()) return it->second;
   const auto id = static_cast<std::uint32_t>(sites_.size());
@@ -65,7 +71,18 @@ std::uint32_t Conformance::intern(std::string_view site) {
   return id;
 }
 
+std::string Conformance::site_name(std::uint32_t id) const {
+  const std::lock_guard<std::mutex> lock(site_mutex_);
+  return sites_[id];
+}
+
 void Conformance::record(int rank, ProtocolEvent event) {
+  if (deferred_) {
+    // Threaded backend: buffer rank-locally; end_deferred commits the
+    // buffers to the rings in rank order at the barrier.
+    step_events_[rank].push_back(event);
+    return;
+  }
   auto& ring = events_[rank];
   if (ring.size() < tail_) {
     ring.push_back(event);
@@ -121,8 +138,41 @@ std::string Conformance::transcript() const {
 }
 
 void Conformance::fail(const std::string& summary) {
+  if (deferred_) {
+    // Mid-step under the threaded backend: other ranks are still writing
+    // their transcript buffers, so only the summary (built from rank-local
+    // and step-constant data) travels; Machine selects the lowest failing
+    // rank after the join and calls throw_violation.
+    throw DeferredViolation{summary};
+  }
+  throw_violation(summary);
+}
+
+void Conformance::throw_violation(const std::string& summary) {
   ++violations_;
   throw Error("SPMD conformance violation: " + summary + "\n" + transcript());
+}
+
+void Conformance::begin_deferred() {
+  deferred_ = true;
+  for (auto& buffer : step_events_) buffer.clear();
+}
+
+void Conformance::end_deferred(int commit_ranks) {
+  deferred_ = false;
+  // Commit in rank order: the rings end up exactly as if the bodies had
+  // run sequentially with rank `commit_ranks - 1` the last to execute.
+  for (int r = 0; r < commit_ranks && r < nranks_; ++r) {
+    for (const ProtocolEvent& e : step_events_[r]) record(r, e);
+  }
+  for (auto& buffer : step_events_) buffer.clear();
+  // Ranks the sequential interpreter would never have run: drop their
+  // per-step observations.
+  for (int r = commit_ranks; r < nranks_; ++r) {
+    pending_[static_cast<std::size_t>(r)].clear();
+    staged_[static_cast<std::size_t>(r)].clear();
+    drained_[static_cast<std::size_t>(r)] = 0;
+  }
 }
 
 void Conformance::on_step_begin(std::uint64_t superstep, std::string_view site) {
@@ -140,7 +190,8 @@ void Conformance::on_send(int from, int to, int tag, std::uint64_t bytes) {
   }
   record(from, ProtocolEvent{superstep_, bytes, 1, step_site_, to, tag,
                              EventKind::kSend, CollectiveOp::kBarrier});
-  outbox_[to].push_back(MessageMeta{superstep_, bytes, step_site_, from, tag});
+  staged_[from].push_back(
+      StagedMeta{MessageMeta{superstep_, bytes, step_site_, from, tag}, to});
 }
 
 void Conformance::on_recv_all(int rank) {
@@ -208,11 +259,13 @@ void Conformance::on_barrier(std::uint64_t superstep) {
     fail(oss.str());
   }
 
-  // (c) Deliver the posted metadata mirror for the next superstep.
-  for (int r = 0; r < nranks_; ++r) {
-    inbox_[r] = std::move(outbox_[r]);
-    outbox_[r].clear();
-    drained_[r] = 0;
+  // (c) Deliver the posted metadata mirror for the next superstep,
+  // destination-wise in sender-rank order — the same merge Machine applies
+  // to the payload queues. Check (b) guarantees every inbox is empty here.
+  for (int r = 0; r < nranks_; ++r) drained_[r] = 0;
+  for (int s = 0; s < nranks_; ++s) {
+    for (const StagedMeta& m : staged_[s]) inbox_[m.to].push_back(m.meta);
+    staged_[s].clear();
   }
 }
 
@@ -234,9 +287,16 @@ void Conformance::on_transfer(int from, int to, std::uint64_t bytes,
 
 void Conformance::on_quiescent(std::string_view site) {
   const std::uint32_t site_id = intern(site);
+  // View the per-sender stages destination-wise (sender-rank order, the
+  // order they would deliver in) so undelivered traffic is reported against
+  // the rank that would have received it.
+  std::vector<std::vector<MessageMeta>> queued(static_cast<std::size_t>(nranks_));
+  for (int s = 0; s < nranks_; ++s) {
+    for (const StagedMeta& m : staged_[s]) queued[m.to].push_back(m.meta);
+  }
   for (int r = 0; r < nranks_; ++r) {
     const bool orphaned = !inbox_[r].empty();
-    const bool undelivered = !outbox_[r].empty();
+    const bool undelivered = !queued[r].empty();
     if (!orphaned && !undelivered) continue;
     std::ostringstream oss;
     oss << "quiescence check";
@@ -247,11 +307,11 @@ void Conformance::on_quiescent(std::string_view site) {
     }
     if (undelivered) {
       if (orphaned) oss << " and ";
-      oss << outbox_[r].size() << " posted-but-undelivered message(s)";
+      oss << queued[r].size() << " posted-but-undelivered message(s)";
     }
     oss << " — a peer finalized while this traffic was still in flight:";
     for (const MessageMeta& m : inbox_[r]) oss << "\n  orphaned: " << describe(m, r);
-    for (const MessageMeta& m : outbox_[r]) oss << "\n  queued: " << describe(m, r);
+    for (const MessageMeta& m : queued[r]) oss << "\n  queued: " << describe(m, r);
     fail(oss.str());
   }
   for (int r = 0; r < nranks_; ++r) {
@@ -263,7 +323,8 @@ void Conformance::on_quiescent(std::string_view site) {
 void Conformance::on_reset() {
   for (auto& p : pending_) p.clear();
   for (auto& box : inbox_) box.clear();
-  for (auto& box : outbox_) box.clear();
+  for (auto& box : staged_) box.clear();
+  for (auto& buffer : step_events_) buffer.clear();
   std::fill(drained_.begin(), drained_.end(), 0);
   superstep_ = 0;
   step_site_ = 0;

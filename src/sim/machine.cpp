@@ -1,9 +1,15 @@
 #include "ptilu/sim/machine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cctype>
 #include <cmath>
+#include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "ptilu/sim/conformance.hpp"
@@ -38,9 +44,140 @@ std::vector<T> decode(const Message& m) {
   return out;
 }
 
+/// Rank whose body is executing on this thread, -1 outside a step. Backs
+/// the cross-rank-write asserts in the charge paths: a rank body must only
+/// ever touch its own machine slots, on either backend.
+thread_local int tl_current_rank = -1;  // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
+
+struct RankGuard {
+  explicit RankGuard(int rank) { tl_current_rank = rank; }
+  ~RankGuard() { tl_current_rank = -1; }
+  RankGuard(const RankGuard&) = delete;
+  RankGuard& operator=(const RankGuard&) = delete;
+};
+
+std::string lowercase(std::string_view s) {
+  std::string lower;
+  lower.reserve(s.size());
+  for (const char c : s) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return lower;
+}
+
 }  // namespace
 
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kSequential: return "sequential";
+    case Backend::kThreads: return "threads";
+  }
+  return "?";
+}
+
+Backend parse_backend(std::string_view name) {
+  const std::string lower = lowercase(name);
+  if (lower.empty() || lower == "seq" || lower == "sequential" || lower == "serial") {
+    return Backend::kSequential;
+  }
+  if (lower == "threads" || lower == "thread" || lower == "threaded") {
+    return Backend::kThreads;
+  }
+  PTILU_CHECK(false, "unknown execution backend '" << name
+                     << "' (expected sequential|threads)");
+}
+
+Backend backend_from_env() {
+  const char* value = std::getenv("PTILU_BACKEND");
+  return value == nullptr ? Backend::kSequential : parse_backend(value);
+}
+
+int backend_threads_from_env() {
+  const char* value = std::getenv("PTILU_THREADS");
+  if (value == nullptr || *value == '\0') return 0;
+  const int n = std::atoi(value);  // NOLINT(cert-err34-c) 0/garbage falls back to auto
+  return n > 0 ? n : 0;
+}
+
+/// Persistent worker pool for Backend::kThreads. Ranks are claimed from a
+/// shared atomic counter, so any number of ranks runs on any number of
+/// workers; run() blocks until every task of the current generation has
+/// finished. Task functions must not throw (the machine wraps rank bodies
+/// and captures exceptions per rank).
+class Machine::WorkerPool {
+ public:
+  explicit WorkerPool(int nthreads) {
+    threads_.reserve(static_cast<std::size_t>(nthreads));
+    for (int i = 0; i < nthreads; ++i) {
+      threads_.emplace_back([this] { worker_main(); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  void run(int ntasks, const std::function<void(int)>& fn) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = &fn;
+    ntasks_ = ntasks;
+    next_.store(0, std::memory_order_relaxed);
+    idle_ = 0;
+    ++generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return idle_ == static_cast<int>(threads_.size()); });
+    job_ = nullptr;
+  }
+
+ private:
+  void worker_main() {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      const std::function<void(int)>* job = job_;
+      const int ntasks = ntasks_;
+      lock.unlock();
+      while (true) {
+        const int task = next_.fetch_add(1, std::memory_order_relaxed);
+        if (task >= ntasks) break;
+        (*job)(task);
+      }
+      lock.lock();
+      ++idle_;
+      if (idle_ == static_cast<int>(threads_.size())) done_cv_.notify_one();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  int ntasks_ = 0;
+  int idle_ = 0;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  std::atomic<int> next_{0};
+};
+
 int RankContext::nranks() const { return machine_->nranks(); }
+
+int RankContext::lane() const {
+  return machine_->backend() == Backend::kThreads ? rank_ : 0;
+}
 
 void RankContext::charge_flops(std::uint64_t n) { machine_->charge_flops(rank_, n); }
 void RankContext::charge_mem(std::uint64_t n) { machine_->charge_mem(rank_, n); }
@@ -58,6 +195,8 @@ void RankContext::send_reals(int to, int tag, const RealVec& data) {
 }
 
 std::vector<Message> RankContext::recv_all() {
+  PTILU_ASSERT(tl_current_rank == -1 || tl_current_rank == rank_,
+               "rank " << tl_current_rank << " drained rank " << rank_ << "'s inbox");
   if (machine_->checker_ != nullptr) machine_->checker_->on_recv_all(rank_);
   // std::exchange (not a bare move) so a second drain in the same superstep
   // reads a well-defined empty inbox instead of a moved-from vector.
@@ -82,10 +221,12 @@ Machine::Machine(int nranks, MachineParams params)
 Machine::Machine(int nranks, const Options& options)
     : nranks_(nranks),
       params_(options.params),
+      backend_(options.backend),
+      threads_option_(options.threads),
       clock_(nranks, 0.0),
       counters_(nranks),
       inbox_(nranks),
-      outbox_(nranks) {
+      staged_(nranks) {
   PTILU_CHECK(nranks >= 1, "machine needs at least one rank");
   if (options.check) {
     checker_ = std::make_unique<Conformance>(nranks, options.transcript_tail);
@@ -94,30 +235,55 @@ Machine::Machine(int nranks, const Options& options)
 
 Machine::~Machine() = default;
 
+int Machine::resolved_pool_size() const {
+  int n = threads_option_;
+  if (n <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return std::clamp(n, 1, nranks_);
+}
+
 void Machine::attach_trace(Trace* trace) {
   trace_ = trace;
   if (trace_ != nullptr) trace_->set_nranks(nranks_);
 }
 
 void Machine::charge_flops(int rank, std::uint64_t n) {
+  PTILU_ASSERT(tl_current_rank == -1 || tl_current_rank == rank,
+               "rank " << tl_current_rank << " charged flops to rank " << rank);
   counters_[rank].flops += n;
   const double cost = static_cast<double>(n) * params_.flop;
   if (trace_ != nullptr) {
-    trace_->record(rank, SpanKind::kCompute, clock_[rank], clock_[rank] + cost, n, 0, 0);
+    if (trace_deferred_) {
+      pending_trace_[rank].push_back(
+          PendingSpan{clock_[rank], clock_[rank] + cost, n, 0, 0, SpanKind::kCompute});
+    } else {
+      trace_->record(rank, SpanKind::kCompute, clock_[rank], clock_[rank] + cost, n, 0, 0);
+    }
   }
   clock_[rank] += cost;
 }
 
 void Machine::charge_mem(int rank, std::uint64_t n) {
+  PTILU_ASSERT(tl_current_rank == -1 || tl_current_rank == rank,
+               "rank " << tl_current_rank << " charged memory to rank " << rank);
   counters_[rank].mem_bytes += n;
   const double cost = static_cast<double>(n) * params_.mem;
   if (trace_ != nullptr) {
-    trace_->record(rank, SpanKind::kCompute, clock_[rank], clock_[rank] + cost, 0, n, 0);
+    if (trace_deferred_) {
+      pending_trace_[rank].push_back(
+          PendingSpan{clock_[rank], clock_[rank] + cost, 0, n, 0, SpanKind::kCompute});
+    } else {
+      trace_->record(rank, SpanKind::kCompute, clock_[rank], clock_[rank] + cost, 0, n, 0);
+    }
   }
   clock_[rank] += cost;
 }
 
 void Machine::post(int from, int to, int tag, std::vector<std::byte> payload) {
+  PTILU_ASSERT(tl_current_rank == -1 || tl_current_rank == from,
+               "rank " << tl_current_rank << " posted a message as rank " << from);
   // The checker validates the destination first: its report names the call
   // site and dumps the protocol transcript, where the bare check below can
   // only name the rank.
@@ -129,30 +295,117 @@ void Machine::post(int from, int to, int tag, std::vector<std::byte> payload) {
   // Sender pays latency plus per-byte injection cost.
   const double cost = params_.alpha + static_cast<double>(bytes) * params_.beta;
   if (trace_ != nullptr) {
-    trace_->record(from, SpanKind::kSend, clock_[from], clock_[from] + cost, 0, bytes, 1);
+    if (trace_deferred_) {
+      pending_trace_[from].push_back(
+          PendingSpan{clock_[from], clock_[from] + cost, 0, bytes, 1, SpanKind::kSend});
+    } else {
+      trace_->record(from, SpanKind::kSend, clock_[from], clock_[from] + cost, 0, bytes, 1);
+    }
   }
   clock_[from] += cost;
-  outbox_[to].push_back(Message{from, tag, std::move(payload)});
+  // Staged in the *sender's* slot (no cross-rank write); the barrier merges
+  // the stages destination-wise in sender-rank order, reproducing exactly
+  // the delivery order of a per-destination push.
+  staged_[from].push_back(Posted{to, Message{from, tag, std::move(payload)}});
+}
+
+void Machine::run_bodies(const std::function<void(RankContext&)>& body) {
+  for (int r = 0; r < nranks_; ++r) {
+    const RankGuard guard(r);
+    RankContext ctx(*this, r);
+    body(ctx);
+  }
+}
+
+void Machine::flush_pending_trace(int upto_rank) {
+  for (int r = 0; r < upto_rank; ++r) {
+    for (const PendingSpan& s : pending_trace_[r]) {
+      trace_->record(r, s.kind, s.start, s.end, s.flops, s.bytes, s.messages);
+    }
+  }
+  for (auto& spans : pending_trace_) spans.clear();
+}
+
+void Machine::run_bodies_threaded(const std::function<void(RankContext&)>& body) {
+  const bool tracing = trace_ != nullptr;
+  if (tracing) {
+    pending_trace_.resize(static_cast<std::size_t>(nranks_));
+    for (auto& spans : pending_trace_) spans.clear();
+    trace_deferred_ = true;
+  }
+  if (checker_ != nullptr) checker_->begin_deferred();
+  if (pool_ == nullptr) pool_ = std::make_unique<WorkerPool>(resolved_pool_size());
+  // Snapshot per-rank accounting: if a body throws, the ranks the
+  // sequential interpreter would never have run are rolled back so the
+  // machine state after the throw matches the sequential backend's.
+  const std::vector<double> clock_before = clock_;
+  const std::vector<RankCounters> counters_before = counters_;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
+  pool_->run(nranks_, [&](int r) {
+    const RankGuard guard(r);
+    try {
+      RankContext ctx(*this, r);
+      body(ctx);
+    } catch (...) {
+      errors[static_cast<std::size_t>(r)] = std::current_exception();
+    }
+  });
+  trace_deferred_ = false;
+  int bad = -1;
+  for (int r = 0; r < nranks_; ++r) {
+    if (errors[static_cast<std::size_t>(r)] != nullptr) {
+      bad = r;
+      break;
+    }
+  }
+  if (bad < 0) {
+    if (tracing) flush_pending_trace(nranks_);
+    if (checker_ != nullptr) checker_->end_deferred(nranks_);
+    return;
+  }
+  // A body threw. The sequential interpreter runs ranks in ascending order,
+  // so the lowest failing rank is the one whose exception would have
+  // surfaced there, and higher ranks would never have started: restore
+  // their accounting and discard their staged traffic and buffered
+  // observations before propagating.
+  for (int r = bad + 1; r < nranks_; ++r) {
+    clock_[r] = clock_before[r];
+    counters_[r] = counters_before[r];
+    staged_[r].clear();
+  }
+  if (tracing) flush_pending_trace(bad + 1);
+  if (checker_ != nullptr) checker_->end_deferred(bad + 1);
+  try {
+    std::rethrow_exception(errors[static_cast<std::size_t>(bad)]);
+  } catch (const Conformance::DeferredViolation& v) {
+    // Rebuild the sequential report now that the committed transcript is
+    // identical to what the sequential interpreter would hold.
+    checker_->throw_violation(v.summary);
+  }
 }
 
 void Machine::step(const std::function<void(RankContext&)>& body,
                    std::string_view site) {
   if (checker_ != nullptr) checker_->on_step_begin(supersteps_, site);
-  for (int r = 0; r < nranks_; ++r) {
-    RankContext ctx(*this, r);
-    body(ctx);
+  if (backend_ == Backend::kThreads && nranks_ > 1) {
+    run_bodies_threaded(body);
+  } else {
+    run_bodies(body);
   }
   // Conformance barrier before physical delivery: collective fingerprints
-  // must agree, and an undrained inbox is flagged before the swap below
+  // must agree, and an undrained inbox is flagged before the delivery below
   // silently drops its messages.
   if (checker_ != nullptr) checker_->on_barrier(supersteps_);
-  // Deliver posted messages for the next superstep. Receivers pay the
-  // per-byte cost of draining their inbound traffic.
+  // Deliver staged messages for the next superstep, destination-wise in
+  // (sender rank, program order). This merge is the only point where
+  // messages cross ranks, and it runs on the main thread.
+  for (int r = 0; r < nranks_; ++r) inbox_[r].clear();
+  for (int s = 0; s < nranks_; ++s) {
+    for (Posted& p : staged_[s]) inbox_[p.to].push_back(std::move(p.msg));
+    staged_[s].clear();
+  }
+  // Receivers pay the per-byte cost of draining their inbound traffic.
   for (int r = 0; r < nranks_; ++r) {
-    // Swap rather than move-assign so the outbox inherits the drained
-    // inbox's capacity instead of reallocating from empty every superstep.
-    std::swap(inbox_[r], outbox_[r]);
-    outbox_[r].clear();
     std::uint64_t inbound = 0;
     for (const Message& m : inbox_[r]) inbound += m.payload.size();
     const double cost = static_cast<double>(inbound) * params_.beta;
@@ -179,37 +432,49 @@ void Machine::step(const std::function<void(RankContext&)>& body,
 
 double Machine::allreduce_sum(const std::function<double(int)>& value_of_rank,
                               std::string_view site) {
-  double total = 0.0;
+  reduce_real_.assign(static_cast<std::size_t>(nranks_), 0.0);
   in_allreduce_ = true;
   step([&](RankContext& ctx) {
     ctx.declare_collective(CollectiveOp::kSum, sizeof(double), site);
-    total += value_of_rank(ctx.rank());
+    reduce_real_[static_cast<std::size_t>(ctx.rank())] = value_of_rank(ctx.rank());
   }, site);
   in_allreduce_ = false;
+  // Combine in rank order — the exact floating-point summation order the
+  // sequential interpreter accumulated in, so both backends return the
+  // same bits.
+  double total = 0.0;
+  for (int r = 0; r < nranks_; ++r) total += reduce_real_[static_cast<std::size_t>(r)];
   return total;
 }
 
 double Machine::allreduce_max(const std::function<double(int)>& value_of_rank,
                               std::string_view site) {
-  double best = -std::numeric_limits<double>::infinity();
+  reduce_real_.assign(static_cast<std::size_t>(nranks_),
+                      -std::numeric_limits<double>::infinity());
   in_allreduce_ = true;
   step([&](RankContext& ctx) {
     ctx.declare_collective(CollectiveOp::kMax, sizeof(double), site);
-    best = std::max(best, value_of_rank(ctx.rank()));
+    reduce_real_[static_cast<std::size_t>(ctx.rank())] = value_of_rank(ctx.rank());
   }, site);
   in_allreduce_ = false;
+  double best = -std::numeric_limits<double>::infinity();
+  for (int r = 0; r < nranks_; ++r) {
+    best = std::max(best, reduce_real_[static_cast<std::size_t>(r)]);
+  }
   return best;
 }
 
 long long Machine::allreduce_sum_ll(const std::function<long long(int)>& value_of_rank,
                                     std::string_view site) {
-  long long total = 0;
+  reduce_ll_.assign(static_cast<std::size_t>(nranks_), 0);
   in_allreduce_ = true;
   step([&](RankContext& ctx) {
     ctx.declare_collective(CollectiveOp::kSumLL, sizeof(long long), site);
-    total += value_of_rank(ctx.rank());
+    reduce_ll_[static_cast<std::size_t>(ctx.rank())] = value_of_rank(ctx.rank());
   }, site);
   in_allreduce_ = false;
+  long long total = 0;
+  for (int r = 0; r < nranks_; ++r) total += reduce_ll_[static_cast<std::size_t>(r)];
   return total;
 }
 
@@ -289,7 +554,8 @@ void Machine::reset() {
   std::fill(clock_.begin(), clock_.end(), 0.0);
   counters_.assign(nranks_, RankCounters{});
   for (auto& box : inbox_) box.clear();
-  for (auto& box : outbox_) box.clear();
+  for (auto& box : staged_) box.clear();
+  for (auto& spans : pending_trace_) spans.clear();
   supersteps_ = 0;
   if (trace_ != nullptr) trace_->on_machine_reset();
   if (checker_ != nullptr) checker_->on_reset();

@@ -94,6 +94,21 @@ std::vector<double> Cli::get_double_list(const std::string& name,
   return out;
 }
 
+std::string Cli::get_choice(const std::string& name, const std::string& fallback,
+                            const std::vector<std::string>& choices) const {
+  const std::string s = get_string(name, "");
+  if (s.empty()) return fallback;
+  for (const std::string& choice : choices) {
+    if (s == choice) return s;
+  }
+  std::ostringstream valid;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    valid << (i == 0 ? "" : ", ") << choices[i];
+  }
+  PTILU_CHECK(false, "flag --" << name << "='" << s << "' is not one of: " << valid.str());
+  return fallback;
+}
+
 void Cli::check_all_consumed() const {
   for (const auto& [name, value] : values_) {
     PTILU_CHECK(consumed_.contains(name), "unknown flag --" << name << "=" << value);
