@@ -14,7 +14,7 @@ namespace ptilu::bench {
 namespace {
 
 void run_matrix(const TestMatrix& matrix, int nranks, const FactorConfig& config,
-                const std::vector<int>& kvalues) {
+                const std::vector<int>& kvalues, Observability& obs) {
   print_header("Ablation: ILUT* cap factor k", matrix);
   std::cout << "base configuration " << config_label(config, 0) << ", p=" << nranks
             << "; k=0 row is plain (uncapped) ILUT\n";
@@ -41,6 +41,20 @@ void run_matrix(const TestMatrix& matrix, int nranks, const FactorConfig& config
         .cell(static_cast<long long>(gmres_result.converged ? gmres_result.matvecs : -1));
   }
   table.print(std::cout);
+
+  // Observed rerun of the middle cap value (--trace/--report flags).
+  if (obs.enabled()) {
+    const int k = kvalues[kvalues.size() / 2];
+    sim::Machine machine(nranks, obs.machine_options());
+    obs.attach(machine);
+    pilut_factor(machine, dist,
+                 {.m = config.m, .tau = config.tau, .cap_k = k, .pivot_rel = 1e-12});
+    obs.report(machine,
+               matrix.name + " k=" + std::to_string(k) + " p=" + std::to_string(nranks),
+               {{"harness", "\"ablation_kcap\""},
+                {"matrix", "\"" + matrix.name + "\""},
+                {"procs", std::to_string(nranks)}});
+  }
 }
 
 }  // namespace
@@ -55,11 +69,12 @@ int main(int argc, char** argv) {
   const idx m = static_cast<idx>(cli.get_int("m", 10));
   const real tau = cli.get_double("tau", 1e-4);
   auto kvalues = cli.get_int_list("kvalues", {1, 2, 3, 4, 0});
+  Observability obs(cli, "ablation_kcap");
   cli.check_all_consumed();
 
   WallTimer timer;
-  run_matrix(build_g0(scale), nranks, {m, tau}, kvalues);
-  run_matrix(build_torso(scale), nranks, {m, tau}, kvalues);
+  run_matrix(build_g0(scale), nranks, {m, tau}, kvalues, obs);
+  run_matrix(build_torso(scale), nranks, {m, tau}, kvalues, obs);
   std::cout << "\n[ablation_kcap wall time: " << format_fixed(timer.seconds(), 1) << "s]\n";
   return 0;
 }

@@ -15,7 +15,7 @@ namespace ptilu::bench {
 namespace {
 
 void run_matrix(const TestMatrix& matrix, int nranks, const FactorConfig& config,
-                const std::vector<int>& rounds_list) {
+                const std::vector<int>& rounds_list, Observability& obs) {
   print_header("Ablation: MIS augmentation rounds", matrix);
   std::cout << "configuration " << config_label(config, 2) << ", p=" << nranks << "\n";
   const DistCsr dist = distribute(matrix.a, nranks);
@@ -37,6 +37,25 @@ void run_matrix(const TestMatrix& matrix, int nranks, const FactorConfig& config
         .cell(static_cast<long long>(result.stats.supersteps));
   }
   table.print(std::cout);
+
+  // Observed rerun of the middle round count (--trace/--report flags).
+  if (obs.enabled()) {
+    const int rounds = rounds_list[rounds_list.size() / 2];
+    sim::Machine machine(nranks, obs.machine_options());
+    obs.attach(machine);
+    pilut_factor(machine, dist,
+                 {.m = config.m,
+                  .tau = config.tau,
+                  .cap_k = 2,
+                  .mis_rounds = rounds,
+                  .pivot_rel = 1e-12});
+    obs.report(machine,
+               matrix.name + " rounds=" + std::to_string(rounds) + " p=" +
+                   std::to_string(nranks),
+               {{"harness", "\"ablation_mis\""},
+                {"matrix", "\"" + matrix.name + "\""},
+                {"procs", std::to_string(nranks)}});
+  }
 }
 
 }  // namespace
@@ -51,11 +70,12 @@ int main(int argc, char** argv) {
   const idx m = static_cast<idx>(cli.get_int("m", 10));
   const real tau = cli.get_double("tau", 1e-4);
   const auto rounds_list = cli.get_int_list("rounds", {1, 2, 3, 5, 8, 16});
+  Observability obs(cli, "ablation_mis");
   cli.check_all_consumed();
 
   WallTimer timer;
-  run_matrix(build_g0(scale), nranks, {m, tau}, rounds_list);
-  run_matrix(build_torso(scale), nranks, {m, tau}, rounds_list);
+  run_matrix(build_g0(scale), nranks, {m, tau}, rounds_list, obs);
+  run_matrix(build_torso(scale), nranks, {m, tau}, rounds_list, obs);
   std::cout << "\n[ablation_mis wall time: " << format_fixed(timer.seconds(), 1) << "s]\n";
   return 0;
 }

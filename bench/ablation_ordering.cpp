@@ -9,6 +9,7 @@
 #include "ptilu/graph/rcm.hpp"
 #include "ptilu/ilu/ilut.hpp"
 #include "ptilu/krylov/gmres.hpp"
+#include "ptilu/sim/machine.hpp"
 #include "ptilu/sparse/scaling.hpp"
 #include "ptilu/support/timer.hpp"
 
@@ -20,7 +21,8 @@ struct Prepared {
   RealVec b;
 };
 
-void run_matrix(const std::string& name, const Csr& matrix, const FactorConfig& config) {
+void run_matrix(const std::string& name, const Csr& matrix, const FactorConfig& config,
+                int nranks, Observability& obs) {
   std::cout << "\n=== Ablation: ordering & scaling for ILUT — " << name << " ("
             << workloads::describe(workloads::matrix_stats(matrix)) << ") ===\n";
   std::cout << "configuration ILUT(" << config.m << "," << format_sci(config.tau, 0)
@@ -57,6 +59,24 @@ void run_matrix(const std::string& name, const Csr& matrix, const FactorConfig& 
         .cell(static_cast<long long>(result.converged ? result.matvecs : -1));
   }
   table.print(std::cout);
+
+  // Observed rerun (--trace/--report flags): this harness's sweep is
+  // host-serial ILUT, so the instrumented run is the parallel factorization
+  // of the fully preprocessed variant — how ordering and scaling shift the
+  // simulated machine's phase breakdown.
+  if (obs.enabled()) {
+    const Prepared prep = prepare(true, true);
+    const DistCsr dist = distribute(prep.a, nranks);
+    sim::Machine machine(nranks, obs.machine_options());
+    obs.attach(machine);
+    pilut_factor(machine, dist,
+                 {.m = config.m, .tau = config.tau, .pivot_rel = 1e-12});
+    obs.report(machine,
+               name + " rcm_equilibrated p=" + std::to_string(nranks),
+               {{"harness", "\"ablation_ordering\""},
+                {"matrix", "\"" + name + "\""},
+                {"procs", std::to_string(nranks)}});
+  }
 }
 
 }  // namespace
@@ -69,13 +89,15 @@ int main(int argc, char** argv) {
   const Scale scale = scale_from_cli(cli);
   const idx m = static_cast<idx>(cli.get_int("m", 10));
   const real tau = cli.get_double("tau", 1e-3);
+  const int nranks = static_cast<int>(cli.get_int("procs", 16));
+  Observability obs(cli, "ablation_ordering");
   cli.check_all_consumed();
 
   WallTimer timer;
-  run_matrix("G0", build_g0(scale).a, {m, tau});
+  run_matrix("G0", build_g0(scale).a, {m, tau}, nranks, obs);
   run_matrix("JUMP2D", workloads::jump_coefficient_2d(
                            scale.g0_nx / 2, scale.g0_ny / 2, 5.0, 7),
-             {m, tau});
+             {m, tau}, nranks, obs);
   std::cout << "\n[ablation_ordering wall time: " << format_fixed(timer.seconds(), 1)
             << "s]\n";
   return 0;

@@ -12,7 +12,8 @@
 namespace ptilu::bench {
 namespace {
 
-void run_matrix(const TestMatrix& matrix, int nranks, const FactorConfig& config) {
+void run_matrix(const TestMatrix& matrix, int nranks, const FactorConfig& config,
+                Observability& obs) {
   print_header("Ablation: partition quality", matrix);
   std::cout << "configuration " << config_label(config, 2) << ", p=" << nranks << "\n";
   const Graph g = graph_from_pattern(matrix.a);
@@ -43,6 +44,20 @@ void run_matrix(const TestMatrix& matrix, int nranks, const FactorConfig& config
         .cell(static_cast<long long>(result.stats.levels));
   }
   table.print(std::cout);
+
+  // Observed rerun on the multilevel k-way partition (--trace/--report).
+  if (obs.enabled()) {
+    const DistCsr dist = DistCsr::create(matrix.a, entries.front().partition);
+    sim::Machine machine(nranks, obs.machine_options());
+    obs.attach(machine);
+    pilut_factor(machine, dist,
+                 {.m = config.m, .tau = config.tau, .cap_k = 2, .pivot_rel = 1e-12});
+    obs.report(machine,
+               matrix.name + " multilevel p=" + std::to_string(nranks),
+               {{"harness", "\"ablation_partition\""},
+                {"matrix", "\"" + matrix.name + "\""},
+                {"procs", std::to_string(nranks)}});
+  }
 }
 
 }  // namespace
@@ -56,13 +71,14 @@ int main(int argc, char** argv) {
   const int nranks = static_cast<int>(cli.get_int("procs", 32));
   const idx m = static_cast<idx>(cli.get_int("m", 10));
   const real tau = cli.get_double("tau", 1e-4);
+  Observability obs(cli, "ablation_partition");
   cli.check_all_consumed();
 
   WallTimer timer;
-  run_matrix(build_g0(scale), nranks, {m, tau});
+  run_matrix(build_g0(scale), nranks, {m, tau}, obs);
   // Random partitions of the TORSO analogue put nearly every node on the
   // interface, which is exactly the point of the comparison.
-  run_matrix(build_torso(scale), nranks, {m, tau});
+  run_matrix(build_torso(scale), nranks, {m, tau}, obs);
   std::cout << "\n[ablation_partition wall time: " << format_fixed(timer.seconds(), 1)
             << "s]\n";
   return 0;

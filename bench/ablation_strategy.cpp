@@ -17,7 +17,8 @@
 namespace ptilu::bench {
 namespace {
 
-void run_matrix(const TestMatrix& matrix, int nranks, const FactorConfig& config) {
+void run_matrix(const TestMatrix& matrix, int nranks, const FactorConfig& config,
+                Observability& obs) {
   print_header("Ablation: interface factorization strategy", matrix);
   std::cout << "configuration m=" << config.m << " t=" << format_sci(config.tau, 0)
             << " (k=2 caps where applicable), p=" << nranks << "\n";
@@ -62,6 +63,19 @@ void run_matrix(const TestMatrix& matrix, int nranks, const FactorConfig& config
   report("PILU(0) (coloring)", pilu0_factor(machine, dist, {.pivot_rel = 1e-12}),
          machine);
   table.print(std::cout);
+
+  // Observed rerun of the paper's default strategy (--trace/--report).
+  if (obs.enabled()) {
+    sim::Machine observed(nranks, obs.machine_options());
+    obs.attach(observed);
+    pilut_factor(observed, dist,
+                 {.m = config.m, .tau = config.tau, .cap_k = 2, .pivot_rel = 1e-12});
+    obs.report(observed,
+               matrix.name + " pilut_star p=" + std::to_string(nranks),
+               {{"harness", "\"ablation_strategy\""},
+                {"matrix", "\"" + matrix.name + "\""},
+                {"procs", std::to_string(nranks)}});
+  }
 }
 
 }  // namespace
@@ -75,11 +89,12 @@ int main(int argc, char** argv) {
   const int nranks = static_cast<int>(cli.get_int("procs", 64));
   const idx m = static_cast<idx>(cli.get_int("m", 10));
   const real tau = cli.get_double("tau", 1e-4);
+  Observability obs(cli, "ablation_strategy");
   cli.check_all_consumed();
 
   WallTimer timer;
-  run_matrix(build_g0(scale), nranks, {m, tau});
-  run_matrix(build_torso(scale), nranks, {m, tau});
+  run_matrix(build_g0(scale), nranks, {m, tau}, obs);
+  run_matrix(build_torso(scale), nranks, {m, tau}, obs);
   std::cout << "\n[ablation_strategy wall time: " << format_fixed(timer.seconds(), 1)
             << "s]\n";
   return 0;

@@ -16,6 +16,7 @@
 #include "ptilu/part/partition.hpp"
 #include "ptilu/pilut/pilut.hpp"
 #include "ptilu/sim/machine.hpp"
+#include "ptilu/sim/metrics.hpp"
 #include "ptilu/sim/trace.hpp"
 #include "ptilu/sparse/csr.hpp"
 #include "ptilu/support/cli.hpp"
@@ -123,6 +124,18 @@ inline void print_header(const std::string& title, const TestMatrix& matrix) {
             << workloads::describe(stats) << ") ===\n";
 }
 
+/// File-name slug for per-run artifact paths ("G0 ILUT(10,1e-04) p=64" ->
+/// "g0_ilut_10_1e_04__p_64").
+inline std::string artifact_slug(const std::string& label) {
+  std::string out;
+  for (const char c : label) {
+    out += std::isalnum(static_cast<unsigned char>(c)) != 0
+               ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+               : '_';
+  }
+  return out;
+}
+
 /// Shared `--trace` / `--trace-dir <dir>` handling for the table harnesses.
 /// With `--trace`, each harness runs one extra *traced* pass over a
 /// representative configuration and prints the per-phase modeled-time
@@ -163,7 +176,8 @@ class TraceReporter {
               << (rel <= 0.01 ? "OK" : "MISMATCH") << " (rel err "
               << format_sci(rel, 2) << ")\n";
     if (!dir_.empty()) {
-      const std::string path = dir_ + "/" + prefix_ + "_" + slug(label) + ".trace.json";
+      const std::string path =
+          dir_ + "/" + prefix_ + "_" + artifact_slug(label) + ".trace.json";
       trace_->write_chrome_trace_file(path);
       std::cout << "chrome trace: " << path << "\n";
     }
@@ -171,20 +185,85 @@ class TraceReporter {
   }
 
  private:
-  static std::string slug(const std::string& label) {
-    std::string out;
-    for (const char c : label) {
-      out += std::isalnum(static_cast<unsigned char>(c)) != 0
-                 ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
-                 : '_';
-    }
-    return out;
-  }
-
   std::string prefix_;
   std::string dir_;
   bool enabled_ = false;
   std::unique_ptr<sim::Trace> trace_;
+};
+
+/// Shared `--report` / `--report-dir <dir>` handling: the metrics
+/// counterpart of TraceReporter. With `--report`, the harness's observed
+/// rerun collects sim::Metrics and prints the critical-path/straggler
+/// breakdown; with `--report-dir`, it additionally writes the versioned
+/// `ptilu-report-v1` JSON (validated by scripts/check_report.py) into the
+/// directory (which must exist). Like tracing, only the observed rerun is
+/// instrumented — the measurement sweeps are unaffected.
+class ReportWriter {
+ public:
+  ReportWriter(const Cli& cli, std::string prefix)
+      : prefix_(std::move(prefix)), dir_(cli.get_string("report-dir", "")) {
+    enabled_ = cli.get_bool("report", false) || !dir_.empty();
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// Print the straggler table and, with --report-dir, write the JSON
+  /// report. `run_info` pairs are (key, raw JSON value) embedded verbatim
+  /// under the report's "run" object; a "label" entry is prepended.
+  void report(sim::Machine& machine, const std::string& label,
+              std::vector<std::pair<std::string, std::string>> run_info = {}) {
+    sim::Metrics* const metrics = machine.metrics();
+    if (!enabled_ || metrics == nullptr) return;
+    std::cout << "\nCritical-path breakdown — " << label << ":\n";
+    metrics->write_straggler_table(std::cout, machine);
+    if (!dir_.empty()) {
+      run_info.insert(run_info.begin(), {"label", "\"" + label + "\""});
+      const std::string path =
+          dir_ + "/" + prefix_ + "_" + artifact_slug(label) + ".report.json";
+      metrics->write_report_file(path, machine, run_info);
+      std::cout << "run report: " << path << "\n";
+    }
+  }
+
+ private:
+  std::string prefix_;
+  std::string dir_;
+  bool enabled_ = false;
+};
+
+/// The harnesses' combined observability flag set: --trace/--trace-dir
+/// (per-phase breakdown + Chrome trace) and --report/--report-dir
+/// (critical-path metrics + machine-readable run report). When any flag is
+/// present the harness repeats one representative configuration on a
+/// machine built from machine_options() with attach() applied, then calls
+/// report(); the measurement sweeps themselves stay uninstrumented.
+class Observability {
+ public:
+  Observability(const Cli& cli, std::string prefix)
+      : tracer_(cli, prefix), reporter_(cli, std::move(prefix)) {}
+
+  bool enabled() const { return tracer_.enabled() || reporter_.enabled(); }
+
+  /// Options for the observed rerun's machine: `base` plus metrics
+  /// collection when --report/--report-dir asked for it.
+  sim::Machine::Options machine_options(sim::Machine::Options base = {}) const {
+    if (reporter_.enabled()) base.metrics = true;
+    return base;
+  }
+
+  void attach(sim::Machine& machine) {
+    if (tracer_.enabled()) tracer_.attach(machine);
+  }
+
+  void report(sim::Machine& machine, const std::string& label,
+              std::vector<std::pair<std::string, std::string>> run_info = {}) {
+    if (tracer_.enabled()) tracer_.report(machine, label);
+    reporter_.report(machine, label, std::move(run_info));
+  }
+
+ private:
+  TraceReporter tracer_;
+  ReportWriter reporter_;
 };
 
 }  // namespace ptilu::bench

@@ -33,8 +33,19 @@
 // interesting comparison when measuring the threaded backend's speedup —
 // checksums still must match, since both backends are bit-identical).
 //
+// With --report/--report-dir each simulated-parallel bench additionally
+// runs once, untimed, on a fresh metrics-enabled machine; the schema bumps
+// to v3 and each such bench carries "report_checksum", the FNV-1a 64 hash
+// of the metrics report's machine-derived payload. Equal checksums mean two
+// runs not only computed the same factors but distributed modeled time and
+// traffic across phases identically — check_bench_json.py flags the
+// mismatch case ("same result, different critical path") during compares.
+// Without these flags the output stays schema v2, byte-compatible with
+// earlier runs.
+//
 // Flags: --quick (CI-sized problems, fewer reps), --smoke (tiny problems,
 // one rep — schema smoke test only), --reps=N, --json=PATH,
+// --report / --report-dir=DIR (see above),
 // --backend=<sequential|threads> and --threads=N (default from
 // PTILU_BACKEND / PTILU_THREADS; applies to the simulated-parallel benches).
 #include <algorithm>
@@ -63,6 +74,8 @@ struct BenchResult {
   nnz_t nnz = 0;
   std::vector<double> reps_s;
   double checksum = 0.0;
+  bool has_report = false;
+  std::uint64_t report_checksum = 0;
 
   double median() const {
     std::vector<double> sorted = reps_s;
@@ -111,9 +124,14 @@ BenchResult run_bench(const std::string& name, const TestMatrix& matrix,
 void write_json(const std::string& path, bool quick, int reps,
                 const sim::Machine::Options& machine_opts,
                 const std::vector<BenchResult>& results) {
+  // v3 only when a metrics report was collected: metrics-off output stays
+  // byte-compatible with earlier v2 runs.
+  bool any_report = false;
+  for (const BenchResult& r : results) any_report |= r.has_report;
   std::FILE* f = std::fopen(path.c_str(), "w");
   PTILU_CHECK(f != nullptr, "cannot open " << path << " for writing");
-  std::fprintf(f, "{\n  \"schema\": \"ptilu-bench-wallclock-v2\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"ptilu-bench-wallclock-v%d\",\n",
+               any_report ? 3 : 2);
   std::fprintf(f, "  \"quick\": %s,\n  \"repetitions\": %d,\n", quick ? "true" : "false",
                reps);
   std::fprintf(f, "  \"backend\": \"%s\",\n  \"threads\": %d,\n",
@@ -131,8 +149,12 @@ void write_json(const std::string& path, bool quick, int reps,
     }
     std::fprintf(f, "],\n     \"median_s\": %.6f, \"min_s\": %.6f, \"max_s\": %.6f, ",
                  r.median(), r.min(), r.max());
-    std::fprintf(f, "\"checksum\": %.17g}%s\n", r.checksum,
-                 i + 1 < results.size() ? "," : "");
+    std::fprintf(f, "\"checksum\": %.17g", r.checksum);
+    if (r.has_report) {
+      std::fprintf(f, ", \"report_checksum\": \"%016llx\"",
+                   static_cast<unsigned long long>(r.report_checksum));
+    }
+    std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -155,8 +177,26 @@ int main(int argc, char** argv) {
       static_cast<int>(cli.get_int("reps", smoke ? 1 : (quick ? 3 : 5)));
   const std::string json_path = cli.get_string("json", "");
   const sim::Machine::Options machine_opts = bench::machine_options_from_cli(cli);
+  bench::ReportWriter reporter(cli, "wallclock");
   cli.check_all_consumed();
   PTILU_CHECK(reps >= 1, "--reps must be >= 1");
+
+  // One extra *untimed* pass of a simulated-parallel bench on a fresh
+  // metrics-enabled machine: prints the critical-path breakdown, optionally
+  // writes the run report, and stamps report_checksum into the bench entry.
+  const auto observe = [&](BenchResult& bench_result, int nranks, const DistCsr& dist,
+                           const PilutOptions& opts) {
+    if (!reporter.enabled()) return;
+    sim::Machine::Options observed_opts = machine_opts;
+    observed_opts.metrics = true;
+    sim::Machine machine(nranks, observed_opts);
+    pilut_factor(machine, dist, opts);
+    bench_result.has_report = true;
+    bench_result.report_checksum = machine.metrics()->payload_checksum(machine);
+    reporter.report(machine, bench_result.name,
+                    {{"harness", "\"bench_wallclock\""},
+                     {"procs", std::to_string(nranks)}});
+  };
 
   const TestMatrix g0 = bench::build_g0(scale);
   const TestMatrix torso = bench::build_torso(scale);
@@ -189,6 +229,7 @@ int main(int argc, char** argv) {
           const PilutResult result = pilut_factor(machine, dist, pilut_opts);
           return factors_checksum(result.factors);
         }));
+    observe(results.back(), p_small, dist, pilut_opts);
   }
   if (!smoke) {
     const int p_large = 64;
@@ -200,6 +241,7 @@ int main(int argc, char** argv) {
                                       pilut_factor(machine, dist, pilut_opts);
                                   return factors_checksum(result.factors);
                                 }));
+    observe(results.back(), p_large, dist, pilut_opts);
   }
 
   // --- Preconditioned GMRES(20) solve (host-side triangular solves and

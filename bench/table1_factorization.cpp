@@ -23,7 +23,7 @@ struct RunResult {
 
 void run_matrix(const TestMatrix& matrix, const std::vector<int>& procs,
                 const std::vector<FactorConfig>& configs, idx star_k,
-                TraceReporter& tracer) {
+                Observability& obs) {
   print_header("Table 1: factorization time (modeled seconds)", matrix);
 
   // dist structures per processor count (partitioning is reused across
@@ -77,18 +77,21 @@ void run_matrix(const TestMatrix& matrix, const std::vector<int>& procs,
   }
   qtable.print(std::cout);
 
-  // Optional traced rerun of a representative configuration (the middle of
-  // the paper's sweep) at the largest processor count. The sweep above is
-  // always untraced, so its numbers are unaffected by --trace.
-  if (tracer.enabled()) {
+  // Optional observed rerun of a representative configuration (the middle
+  // of the paper's sweep) at the largest processor count. The sweep above
+  // is always uninstrumented, so its numbers are unaffected by the flags.
+  if (obs.enabled()) {
     const FactorConfig config = configs[configs.size() / 2];
     const int p = procs.back();
-    sim::Machine machine(p);
-    tracer.attach(machine);
+    sim::Machine machine(p, obs.machine_options());
+    obs.attach(machine);
     pilut_factor(machine, dists.at(p),
                  {.m = config.m, .tau = config.tau, .cap_k = 0, .pivot_rel = 1e-12});
-    tracer.report(machine, matrix.name + " " + config_label(config, 0) + " p=" +
-                               std::to_string(p));
+    obs.report(machine,
+               matrix.name + " " + config_label(config, 0) + " p=" + std::to_string(p),
+               {{"harness", "\"table1\""},
+                {"matrix", "\"" + matrix.name + "\""},
+                {"procs", std::to_string(p)}});
   }
 }
 
@@ -104,13 +107,13 @@ int main(int argc, char** argv) {
   const idx star_k = static_cast<idx>(cli.get_int("k", 2));
   const bool skip_torso = cli.get_bool("skip-torso", false);
   const bool skip_g0 = cli.get_bool("skip-g0", false);
-  TraceReporter tracer(cli, "table1");
+  Observability obs(cli, "table1");
   cli.check_all_consumed();
 
   const auto configs = paper_configs();
   WallTimer timer;
-  if (!skip_g0) run_matrix(build_g0(scale), procs, configs, star_k, tracer);
-  if (!skip_torso) run_matrix(build_torso(scale), procs, configs, star_k, tracer);
+  if (!skip_g0) run_matrix(build_g0(scale), procs, configs, star_k, obs);
+  if (!skip_torso) run_matrix(build_torso(scale), procs, configs, star_k, obs);
   std::cout << "\n[table1 harness wall time: " << format_fixed(timer.seconds(), 1)
             << "s]\n";
   return 0;

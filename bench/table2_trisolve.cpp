@@ -15,7 +15,7 @@ namespace {
 
 void run_matrix(const TestMatrix& matrix, const std::vector<int>& procs,
                 const std::vector<FactorConfig>& configs, idx star_k,
-                TraceReporter& tracer) {
+                Observability& obs) {
   print_header("Table 2: forward+backward substitution time (modeled seconds)", matrix);
 
   std::map<int, DistCsr> dists;
@@ -103,21 +103,26 @@ void run_matrix(const TestMatrix& matrix, const std::vector<int>& procs,
     mflops.print(std::cout);
   }
 
-  // Optional traced rerun of one substitution: factor untraced, reset the
-  // machine, then trace just the forward+backward solve.
-  if (tracer.enabled()) {
+  // Optional observed rerun of one substitution: factor on a scratch
+  // machine, then instrument a fresh machine for just the forward+backward
+  // solve so the breakdown covers only the substitution.
+  if (obs.enabled()) {
     const FactorConfig config = configs[configs.size() / 2];
     const int p = procs.back();
-    sim::Machine machine(p);
+    sim::Machine factor_machine(p);
     const PilutResult result = pilut_factor(
-        machine, dists.at(p),
+        factor_machine, dists.at(p),
         {.m = config.m, .tau = config.tau, .cap_k = 0, .pivot_rel = 1e-12});
     const DistTriangularSolver solver(result.factors, result.schedule);
-    machine.reset();
-    tracer.attach(machine);
+    sim::Machine machine(p, obs.machine_options());
+    obs.attach(machine);
     solver.apply(machine, b, x);
-    tracer.report(machine, matrix.name + " solve " + config_label(config, 0) + " p=" +
-                               std::to_string(p));
+    obs.report(machine,
+               matrix.name + " solve " + config_label(config, 0) + " p=" +
+                   std::to_string(p),
+               {{"harness", "\"table2\""},
+                {"matrix", "\"" + matrix.name + "\""},
+                {"procs", std::to_string(p)}});
   }
 }
 
@@ -132,14 +137,14 @@ int main(int argc, char** argv) {
   const auto procs = cli.get_int_list("procs", {16, 32, 64, 128});
   const idx star_k = static_cast<idx>(cli.get_int("k", 2));
   const bool with_g0 = cli.get_bool("with-g0", false);
-  TraceReporter tracer(cli, "table2");
+  Observability obs(cli, "table2");
   cli.check_all_consumed();
 
   const auto configs = paper_configs();
   WallTimer timer;
   // The paper's Table 2 reports TORSO only; --with-g0 adds the G0 series.
-  run_matrix(build_torso(scale), procs, configs, star_k, tracer);
-  if (with_g0) run_matrix(build_g0(scale), procs, configs, star_k, tracer);
+  run_matrix(build_torso(scale), procs, configs, star_k, obs);
+  if (with_g0) run_matrix(build_g0(scale), procs, configs, star_k, obs);
   std::cout << "\n[table2 harness wall time: " << format_fixed(timer.seconds(), 1)
             << "s]\n";
   return 0;

@@ -8,7 +8,14 @@
 // application) plus a modeled estimate of the distributed vector
 // operations (dots need an allreduce; axpys are local) — the same cost
 // model as Tables 1/2.
+//
+// --residuals <file> writes the full convergence histories of the sweep as
+// CSV (matrix, preconditioner, restart, iteration, residual — one row per
+// inner GMRES iteration); with --report-dir, the run reports embed each
+// configuration's initial/final residual under run.configurations.
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -20,6 +27,13 @@
 
 namespace ptilu::bench {
 namespace {
+
+/// Full-precision decimal form for the residual CSV and report JSON.
+std::string format_real(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
 
 /// Modeled cost of the per-iteration dense vector work of GMRES(restart):
 /// on average (restart+1)/2 + 1 dots (each 2n/p flops + a log2(p) allreduce)
@@ -35,7 +49,7 @@ double vector_op_cost(const sim::MachineParams& params, idx n, int p, int restar
 
 void run_matrix(const TestMatrix& matrix, int nranks,
                 const std::vector<FactorConfig>& configs, idx star_k, real rtol,
-                int max_matvecs, TraceReporter& tracer) {
+                int max_matvecs, Observability& obs, std::ofstream* residuals_csv) {
   print_header("Table 3: GMRES solve time (modeled s) and matrix-vector count", matrix);
   const DistCsr dist = distribute(matrix.a, nranks);
   const Halo halo = Halo::build(dist);
@@ -57,7 +71,7 @@ void run_matrix(const TestMatrix& matrix, int nranks,
   const auto solve_with = [&](const Preconditioner& precond, double apply_cost,
                               int restart) {
     RealVec x(n, 0.0);
-    const GmresResult result =
+    GmresResult result =
         gmres(matrix.a, precond, b, x,
               {.restart = restart, .max_matvecs = max_matvecs, .rtol = rtol});
     const double per_iter = spmv_cost + apply_cost +
@@ -65,10 +79,32 @@ void run_matrix(const TestMatrix& matrix, int nranks,
                                            restart);
     struct Outcome {
       double time;
-      int nmv;
-      bool converged;
+      GmresResult gmres;
     };
-    return Outcome{result.matvecs * per_iter, result.matvecs, result.converged};
+    return Outcome{result.matvecs * per_iter, std::move(result)};
+  };
+
+  // Per-configuration convergence record: CSV rows (one per inner
+  // iteration) and a JSON entry for the run report's "configurations".
+  std::string configs_json = "[";
+  bool first_config = true;
+  const auto record = [&](const std::string& label, int restart,
+                          const GmresResult& g) {
+    if (residuals_csv != nullptr) {
+      for (std::size_t it = 0; it < g.residual_history.size(); ++it) {
+        *residuals_csv << matrix.name << ",\"" << label << "\"," << restart << ','
+                       << it + 1 << ',' << format_real(g.residual_history[it])
+                       << '\n';
+      }
+    }
+    if (!first_config) configs_json += ", ";
+    first_config = false;
+    configs_json += "{\"preconditioner\": \"" + label +
+                    "\", \"restart\": " + std::to_string(restart) +
+                    ", \"nmv\": " + std::to_string(g.matvecs) +
+                    ", \"converged\": " + (g.converged ? "true" : "false") +
+                    ", \"initial_residual\": " + format_real(g.initial_residual) +
+                    ", \"final_residual\": " + format_real(g.final_residual) + "}";
   };
 
   for (const idx cap_k : {idx{0}, star_k}) {
@@ -84,14 +120,17 @@ void run_matrix(const TestMatrix& matrix, int nranks,
       const double apply_cost = machine.modeled_time();
 
       const IluPreconditioner precond(result.factors, result.schedule.newnum);
+      const std::string label = config_label(config, cap_k);
       const auto g20 = solve_with(precond, apply_cost, 20);
       const auto g50 = solve_with(precond, apply_cost, 50);
+      record(label, 20, g20.gmres);
+      record(label, 50, g50.gmres);
       table.row()
-          .cell(config_label(config, cap_k))
-          .cell(g20.converged ? format_fixed(g20.time, 3) : "no conv")
-          .cell(static_cast<long long>(g20.nmv))
-          .cell(g50.converged ? format_fixed(g50.time, 3) : "no conv")
-          .cell(static_cast<long long>(g50.nmv));
+          .cell(label)
+          .cell(g20.gmres.converged ? format_fixed(g20.time, 3) : "no conv")
+          .cell(static_cast<long long>(g20.gmres.matvecs))
+          .cell(g50.gmres.converged ? format_fixed(g50.time, 3) : "no conv")
+          .cell(static_cast<long long>(g50.gmres.matvecs));
     }
   }
   {
@@ -101,30 +140,40 @@ void run_matrix(const TestMatrix& matrix, int nranks,
                               sim::MachineParams::cray_t3d().flop;
     const auto g20 = solve_with(precond, apply_cost, 20);
     const auto g50 = solve_with(precond, apply_cost, 50);
+    record("Diagonal", 20, g20.gmres);
+    record("Diagonal", 50, g50.gmres);
     table.row()
         .cell("Diagonal")
-        .cell(g20.converged ? format_fixed(g20.time, 3) : "no conv")
-        .cell(static_cast<long long>(g20.nmv))
-        .cell(g50.converged ? format_fixed(g50.time, 3) : "no conv")
-        .cell(static_cast<long long>(g50.nmv));
+        .cell(g20.gmres.converged ? format_fixed(g20.time, 3) : "no conv")
+        .cell(static_cast<long long>(g20.gmres.matvecs))
+        .cell(g50.gmres.converged ? format_fixed(g50.time, 3) : "no conv")
+        .cell(static_cast<long long>(g50.gmres.matvecs));
   }
   table.print(std::cout);
+  configs_json += "]";
 
-  // Optional traced rerun: the fully distributed GMRES(20) (gmres_dist
+  // Optional observed rerun: the fully distributed GMRES(20) (gmres_dist
   // executes every vector operation on the machine, unlike the analytic
-  // vector_op_cost model above), traced end to end.
-  if (tracer.enabled()) {
+  // vector_op_cost model above), instrumented end to end. The factorization
+  // runs on a scratch machine so the breakdown covers only the solve.
+  if (obs.enabled()) {
     const FactorConfig config = configs[configs.size() / 2];
-    sim::Machine machine(nranks);
+    sim::Machine factor_machine(nranks);
     const PilutResult result = pilut_factor(
-        machine, dist,
+        factor_machine, dist,
         {.m = config.m, .tau = config.tau, .cap_k = 0, .pivot_rel = 1e-12});
     RealVec x(n, 0.0);
-    tracer.attach(machine);  // gmres_dist resets the machine at entry
+    sim::Machine machine(nranks, obs.machine_options());
+    obs.attach(machine);  // gmres_dist resets the machine at entry
     gmres_dist(machine, dist, halo, result, b, x,
                {.restart = 20, .max_matvecs = max_matvecs, .rtol = rtol});
-    tracer.report(machine, matrix.name + " gmres20 " + config_label(config, 0) +
-                               " p=" + std::to_string(nranks));
+    obs.report(machine,
+               matrix.name + " gmres20 " + config_label(config, 0) + " p=" +
+                   std::to_string(nranks),
+               {{"harness", "\"table3\""},
+                {"matrix", "\"" + matrix.name + "\""},
+                {"procs", std::to_string(nranks)},
+                {"configurations", configs_json}});
   }
 }
 
@@ -142,16 +191,30 @@ int main(int argc, char** argv) {
   const int max_matvecs = static_cast<int>(cli.get_int("max-matvecs", 20000));
   const bool skip_torso = cli.get_bool("skip-torso", false);
   const bool skip_g0 = cli.get_bool("skip-g0", false);
-  TraceReporter tracer(cli, "table3");
+  const std::string residuals_path = cli.get_string("residuals", "");
+  Observability obs(cli, "table3");
   cli.check_all_consumed();
+
+  std::ofstream residuals_csv;
+  if (!residuals_path.empty()) {
+    residuals_csv.open(residuals_path);
+    PTILU_CHECK(residuals_csv.good(), "cannot open " << residuals_path << " for writing");
+    residuals_csv << "matrix,preconditioner,restart,iteration,residual\n";
+  }
+  std::ofstream* const csv = residuals_path.empty() ? nullptr : &residuals_csv;
 
   const auto configs = paper_configs();
   WallTimer timer;
   if (!skip_g0) {
-    run_matrix(build_g0(scale), nranks, configs, star_k, rtol, max_matvecs, tracer);
+    run_matrix(build_g0(scale), nranks, configs, star_k, rtol, max_matvecs, obs, csv);
   }
   if (!skip_torso) {
-    run_matrix(build_torso(scale), nranks, configs, star_k, rtol, max_matvecs, tracer);
+    run_matrix(build_torso(scale), nranks, configs, star_k, rtol, max_matvecs, obs, csv);
+  }
+  if (csv != nullptr) {
+    csv->flush();
+    PTILU_CHECK(csv->good(), "failed writing " << residuals_path);
+    std::cout << "residual histories: " << residuals_path << "\n";
   }
   std::cout << "\n[table3 harness wall time: " << format_fixed(timer.seconds(), 1)
             << "s]\n";

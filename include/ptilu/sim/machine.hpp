@@ -48,6 +48,7 @@ namespace ptilu::sim {
 
 class Trace;
 class Conformance;
+class Metrics;
 enum class SpanKind : std::uint8_t;
 
 /// Operation kind of a fingerprinted collective (SPMD conformance checking;
@@ -70,6 +71,13 @@ const char* collective_op_name(CollectiveOp op);
 /// default for Machine::Options::check, so existing benchmarks and tests
 /// can be re-run checked without rebuilding.
 bool conformance_enabled_by_env() noexcept;
+
+/// True when the PTILU_METRICS environment variable requests metrics
+/// collection ("1", "on", "true", "yes", case-insensitive). This is the
+/// default for Machine::Options::metrics, so existing benchmarks and tests
+/// can be re-run with the critical-path analyzer attached without
+/// rebuilding. See metrics.hpp.
+bool metrics_enabled_by_env() noexcept;
 
 /// How superstep bodies execute. Both backends are observationally
 /// identical (bit-identical modeled time, counters, traces, conformance
@@ -223,13 +231,16 @@ class Machine {
   /// `backend` selects the superstep execution backend (default from
   /// PTILU_BACKEND, sequential when unset); `threads` sizes the worker pool
   /// for Backend::kThreads (0 = hardware concurrency, clamped to nranks;
-  /// default from PTILU_THREADS).
+  /// default from PTILU_THREADS); `metrics` attaches the critical-path /
+  /// load-imbalance collector (metrics.hpp) — default off via PTILU_METRICS,
+  /// and modeled output is bit-identical either way.
   struct Options {
     MachineParams params = MachineParams::cray_t3d();
     bool check = conformance_enabled_by_env();
     std::size_t transcript_tail = 16;
     Backend backend = backend_from_env();
     int threads = backend_threads_from_env();
+    bool metrics = metrics_enabled_by_env();
   };
 
   Machine(int nranks, MachineParams params = MachineParams::cray_t3d());
@@ -318,6 +329,18 @@ class Machine {
   /// this to sim::ScopedPhase, which is a no-op on nullptr.
   Trace* trace() const { return trace_; }
 
+  /// The metrics collector, or nullptr when Options::metrics is off
+  /// (introspection plus report/straggler-table export — see metrics.hpp).
+  Metrics* metrics() const { return metrics_.get(); }
+
+  /// Enter/leave an algorithm phase on everything that observes phases —
+  /// the attached trace and the metrics collector (no-op when neither is
+  /// on). Main thread only, between supersteps. Instrumented code should
+  /// use sim::ScopedPhase(machine, "factor/interior") rather than call
+  /// these directly.
+  void push_phase(std::string_view name);
+  void pop_phase();
+
   /// Reset clocks/counters (keeps nranks and params) so one Machine can
   /// time several phases independently. An attached trace keeps its data:
   /// spans recorded after the reset land in a new epoch appended after
@@ -377,6 +400,7 @@ class Machine {
   std::vector<long long> reduce_ll_;  // per-rank allreduce slots
   std::unique_ptr<WorkerPool> pool_;  // lazily created for Backend::kThreads
   std::unique_ptr<Conformance> checker_;  // SPMD conformance; null = off
+  std::unique_ptr<Metrics> metrics_;  // critical-path analyzer; null = off
 };
 
 }  // namespace ptilu::sim

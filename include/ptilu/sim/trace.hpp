@@ -33,6 +33,8 @@
 
 namespace ptilu::sim {
 
+class Machine;
+
 /// What a span's modeled time was spent on.
 enum class SpanKind : std::uint8_t {
   kCompute = 0,    ///< charge_flops / charge_mem local work
@@ -161,22 +163,28 @@ class Trace {
   std::uint32_t last_phase_ = 0;
 };
 
-/// RAII phase tag. Safe to construct with a null trace (no-op), which is
-/// how instrumented algorithm code stays near-zero-cost when tracing is
-/// disabled:  sim::ScopedPhase phase(machine.trace(), "factor/interior");
+/// RAII phase tag. The Machine form tags every observer the machine has
+/// attached — the trace *and* the metrics collector (metrics.hpp) — and is
+/// what instrumented algorithm code should use:
+///
+///   sim::ScopedPhase phase(machine, "factor/interior");
+///
+/// It is near-zero-cost when neither observer is on (two pointer compares
+/// inside Machine::push_phase). The Trace* form remains for code that feeds
+/// a trace directly and is a no-op on nullptr.
 class ScopedPhase {
  public:
   ScopedPhase(Trace* trace, std::string_view name) : trace_(trace) {
     if (trace_ != nullptr) trace_->push_phase(name);
   }
-  ~ScopedPhase() {
-    if (trace_ != nullptr) trace_->pop_phase();
-  }
+  ScopedPhase(Machine& machine, std::string_view name);
+  ~ScopedPhase();
   ScopedPhase(const ScopedPhase&) = delete;
   ScopedPhase& operator=(const ScopedPhase&) = delete;
 
  private:
-  Trace* trace_;
+  Trace* trace_ = nullptr;
+  Machine* machine_ = nullptr;
 };
 
 }  // namespace ptilu::sim

@@ -2,21 +2,30 @@
 """Validate — and optionally compare — bench_wallclock JSON files.
 
 Validation checks (stdlib only, no third-party dependencies):
-  * the file is valid JSON with "schema": "ptilu-bench-wallclock-v2"
-    (v1 files, which predate the execution-backend field, still validate);
+  * the file is valid JSON with "schema": "ptilu-bench-wallclock-v2" or
+    -v3 (v1 files, which predate the execution-backend field, still
+    validate);
   * top level carries a boolean "quick" and a positive int "repetitions";
-    v2 additionally records the execution backend ("sequential" or
+    v2+ additionally records the execution backend ("sequential" or
     "threads") and the worker-pool size ("threads", 0 = auto);
   * "benches" is a non-empty list; every entry has a unique name, a
     workload, a kind in {factorization, solve}, positive n/nnz, a
     "reps_s" list of `repetitions` positive floats, and median/min/max
     consistent with the samples (median recomputed, min <= median <= max);
-  * a numeric "checksum" (guards against dead-code-eliminated benches).
+  * a numeric "checksum" (guards against dead-code-eliminated benches);
+  * v3 benches may carry "report_checksum", the 16-hex-digit FNV-1a hash
+    of the metrics report payload of an untimed observed rerun (written
+    when bench_wallclock runs with --report/--report-dir).
 
 Comparison mode (--compare BASELINE CURRENT) validates both files, pairs
 benches by name, requires matching checksums (the two builds must compute
 identical results for a wall-clock comparison to be meaningful), and
-prints the per-bench speedup baseline_median / current_median. With
+prints the per-bench speedup baseline_median / current_median. When both
+sides carry "report_checksum" and the values differ while the numeric
+checksums match, a note flags the phase-distribution shift: the builds
+computed the same factors, but distributed modeled time or traffic across
+phases differently (a critical-path change worth reading the reports
+for). With
 --require-speedup X it fails unless every *factorization* bench reaches
 that speedup; with --out PATH it writes CURRENT augmented with
 "baseline_median_s" and "speedup" per bench (the merged file still
@@ -40,8 +49,11 @@ import argparse
 import json
 import sys
 
-SCHEMAS = {"ptilu-bench-wallclock-v1", "ptilu-bench-wallclock-v2"}
-SCHEMA_V2 = "ptilu-bench-wallclock-v2"
+SCHEMAS = {"ptilu-bench-wallclock-v1", "ptilu-bench-wallclock-v2",
+           "ptilu-bench-wallclock-v3"}
+# v2 added the execution backend; v3 added optional per-bench report_checksum.
+SCHEMAS_WITH_BACKEND = {"ptilu-bench-wallclock-v2", "ptilu-bench-wallclock-v3"}
+SCHEMA_V3 = "ptilu-bench-wallclock-v3"
 BACKENDS = {"sequential", "threads"}
 KINDS = {"factorization", "solve"}
 REL_EPS = 1e-9
@@ -64,7 +76,7 @@ def validate(doc, path, errors):
     if doc.get("schema") not in SCHEMAS:
         errors.append(
             f"{path}: schema is {doc.get('schema')!r}, want one of {sorted(SCHEMAS)}")
-    if doc.get("schema") == SCHEMA_V2:
+    if doc.get("schema") in SCHEMAS_WITH_BACKEND:
         if doc.get("backend") not in BACKENDS:
             errors.append(
                 f"{path}: 'backend' is {doc.get('backend')!r}, want one of {sorted(BACKENDS)}")
@@ -103,6 +115,15 @@ def validate(doc, path, errors):
                 errors.append(f"{where}: '{key}' must be a positive int")
         if not isinstance(bench.get("checksum"), (int, float)):
             errors.append(f"{where}: missing numeric checksum")
+        report_checksum = bench.get("report_checksum")
+        if report_checksum is not None:
+            if doc.get("schema") != SCHEMA_V3:
+                errors.append(f"{where}: report_checksum requires schema v3")
+            elif (not isinstance(report_checksum, str) or len(report_checksum) != 16
+                  or any(c not in "0123456789abcdef" for c in report_checksum)):
+                errors.append(
+                    f"{where}: report_checksum must be 16 lowercase hex digits, "
+                    f"got {report_checksum!r}")
         samples = bench.get("reps_s")
         if (not isinstance(samples, list) or not samples
                 or not all(isinstance(s, (int, float)) and s > 0 for s in samples)):
@@ -146,6 +167,14 @@ def compare(baseline, current, args, errors):
                 f"{name}: checksum mismatch (baseline {base['checksum']!r}, "
                 f"current {bench['checksum']!r}) — builds disagree numerically")
             continue
+        base_report = base.get("report_checksum")
+        cur_report = bench.get("report_checksum")
+        if (base_report is not None and cur_report is not None
+                and base_report != cur_report):
+            print(f"note: {name}: report_checksum differs (baseline {base_report}, "
+                  f"current {cur_report}) — same numerical result, but the builds "
+                  f"distribute modeled time/traffic across phases differently; "
+                  f"compare the run reports for the critical-path shift")
         speedup = base["median_s"] / bench["median_s"]
         rows.append((name, bench["kind"], base["median_s"], bench["median_s"], speedup))
         bench["baseline_median_s"] = base["median_s"]

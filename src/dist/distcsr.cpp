@@ -90,7 +90,7 @@ void dist_spmv(sim::Machine& machine, const DistCsr& dist, const Halo& halo,
   PTILU_CHECK(machine.nranks() == dist.nranks, "machine/partition rank mismatch");
   PTILU_CHECK(x.size() == static_cast<std::size_t>(dist.n()) && y.size() == x.size(),
               "dist_spmv size mismatch");
-  sim::ScopedPhase phase(machine.trace(), "spmv");
+  sim::ScopedPhase phase(machine, "spmv");
 
   // Superstep 1: ship boundary values.
   machine.step([&](sim::RankContext& ctx) {

@@ -78,8 +78,7 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
 
   // Self-tagging: callers need not (and should not) wrap mis_dist in a
   // phase of their own; the tag nests under whatever phase is active.
-  sim::Trace* const tr = machine.trace();
-  sim::ScopedPhase mis_phase(tr, "mis");
+  sim::ScopedPhase mis_phase(machine, "mis");
 
   // Setup phase (the paper's "communication setup"): initialize owned and
   // mirror statuses. While the same pass is over the adjacency anyway, it
@@ -90,7 +89,7 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
   // queued batches — and hence the messages — are byte-identical to the
   // lazy-discovery scheme this replaces.
   {
-  sim::ScopedPhase span(tr, "setup");
+  sim::ScopedPhase span(machine, "setup");
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
     auto& status = sc.status[r];
@@ -155,7 +154,7 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
 
   long long candidates_left = 1;
   {
-  sim::ScopedPhase rounds_span(tr, "rounds");
+  sim::ScopedPhase rounds_span(machine, "rounds");
   for (int round = 0; round < opts.rounds && candidates_left > 0; ++round) {
     // New memo epoch for this round's vertex keys. A key depends only on
     // (seed, vertex, round), so the per-lane memos all compute the same
@@ -254,7 +253,7 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
 
   // Drain pending updates so the machine's queues are clean for the caller.
   {
-    sim::ScopedPhase span(tr, "drain");
+    sim::ScopedPhase span(machine, "drain");
     machine.step([&](sim::RankContext& ctx) { (void)ctx.recv_all(); }, "mis/drain");
   }
   machine.check_quiescent("mis/end");

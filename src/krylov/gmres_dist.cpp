@@ -74,8 +74,7 @@ GmresResult gmres_dist(sim::Machine& machine, const DistCsr& dist, const Halo& h
   const IdxVec& newnum = factorization.schedule.newnum;
   const DistBlas blas(machine, dist);
   const int krylov = opts.restart;
-  sim::Trace* const tr = machine.trace();
-  sim::ScopedPhase solve_phase(tr, "gmres");
+  sim::ScopedPhase solve_phase(machine, "gmres");
 
   GmresResult result;
   RealVec ax(n), residual_vec(n), r(n);
@@ -85,7 +84,7 @@ GmresResult gmres_dist(sim::Machine& machine, const DistCsr& dist, const Halo& h
   // parallel triangular solves through the factorization's ordering (the
   // scatter into/out of the new numbering is rank-local copy work).
   const auto compute_residual = [&]() {
-    sim::ScopedPhase span(tr, "residual");
+    sim::ScopedPhase span(machine, "residual");
     dist_spmv(machine, dist, halo, RealVec(x.begin(), x.end()), ax);
     machine.step([&](sim::RankContext& ctx) {
       const int rank = ctx.rank();
@@ -136,7 +135,7 @@ GmresResult gmres_dist(sim::Machine& machine, const DistCsr& dist, const Halo& h
       ++result.matvecs;
       RealVec& w = v[j + 1];
       {
-        sim::ScopedPhase span(tr, "precond");
+        sim::ScopedPhase span(machine, "precond");
         machine.step([&](sim::RankContext& ctx) {
           for (const idx i : dist.owned_rows[ctx.rank()]) permuted[newnum[i]] = ax[i];
           ctx.charge_mem(dist.owned_rows[ctx.rank()].size() * sizeof(real));
@@ -152,7 +151,7 @@ GmresResult gmres_dist(sim::Machine& machine, const DistCsr& dist, const Halo& h
       // plus rank-local update work.
       real hnext = 0.0;
       {
-        sim::ScopedPhase span(tr, "orthog");
+        sim::ScopedPhase span(machine, "orthog");
         for (int i = 0; i <= j; ++i) {
           const real hij = blas.dot(w, v[i]);
           h[i][j] = hij;
@@ -199,7 +198,7 @@ GmresResult gmres_dist(sim::Machine& machine, const DistCsr& dist, const Halo& h
     }
     // x update: one batched rank-local pass over the basis.
     {
-      sim::ScopedPhase span(tr, "update");
+      sim::ScopedPhase span(machine, "update");
       machine.step([&](sim::RankContext& ctx) {
         const int rank = ctx.rank();
         for (const idx i : dist.owned_rows[rank]) {

@@ -6,6 +6,16 @@
 
 namespace ptilu::pilut_detail {
 
+FactorCounters factor_counters(sim::Machine& machine) {
+  FactorCounters counters;
+  counters.metrics = machine.metrics();
+  if (counters.metrics != nullptr) {
+    counters.fill = counters.metrics->counter_id("factor/fill");
+    counters.dropped = counters.metrics->counter_id("factor/dropped");
+  }
+  return counters;
+}
+
 std::vector<Lane> make_lanes(const sim::Machine& machine, idx n) {
   std::vector<Lane> lanes;
   const int count = machine.scratch_lanes();
@@ -74,13 +84,15 @@ void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
   sched.n_interior = next_num;
   stats.interface_nodes = a.n_rows - next_num;
 
-  sim::ScopedPhase phase(machine.trace(), "factor/interior");
+  const FactorCounters counters = factor_counters(machine);
+  sim::ScopedPhase phase(machine, "factor/interior");
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
     Lane& lane = lanes[static_cast<std::size_t>(ctx.lane())];
     WorkingRow& w = lane.w;
     FactorScratch& scratch = lane.scratch;
     std::uint64_t flops = 0;
+    FillDropTally tally;
     for (const idx i : dist.owned_rows[r]) {
       if (dist.interface[i]) continue;
       const real tau_i = opts.tau * norms[i];
@@ -91,7 +103,7 @@ void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
         w.insert(c, a.values[k]);
         if (eliminatable(c)) heap.push(c);  // columns are local by definition
       }
-      flops += eliminate_cascading(w, state, tau_i, heap, eliminatable);
+      flops += eliminate_cascading(w, state, tau_i, heap, eliminatable, tally);
 
       SparseRow& lstage = scratch.lstage;
       SparseRow& ustage = scratch.ustage;
@@ -110,8 +122,10 @@ void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
           ustage.push(c, v);
         }
       }
+      const std::size_t staged = lstage.size() + ustage.size();
       select_largest(lstage, opts.m, tau_i, -1, scratch.kept);
       select_largest(ustage, opts.m, tau_i, -1, scratch.kept);
+      tally.dropped += staged - lstage.size() - ustage.size();
       diag = guarded_pivot(i, diag,
                            opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0,
                            lane.pivots_guarded);
@@ -123,6 +137,7 @@ void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
       w.clear();
     }
     ctx.charge_flops(flops);
+    counters.commit(r, tally);
   }, "pilut/interior");
   stats.time_interior = machine.modeled_time();
 }
@@ -132,13 +147,15 @@ void run_initial_reduction(sim::Machine& machine, const DistCsr& dist,
                            idx tail_cap, FactorState& state,
                            std::vector<Lane>& lanes) {
   const Csr& a = dist.a;
-  sim::ScopedPhase phase(machine.trace(), "factor/interface/form_reduced");
+  const FactorCounters counters = factor_counters(machine);
+  sim::ScopedPhase phase(machine, "factor/interface/form_reduced");
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
     Lane& lane = lanes[static_cast<std::size_t>(ctx.lane())];
     WorkingRow& w = lane.w;
     FactorScratch& scratch = lane.scratch;
     std::uint64_t flops = 0, copied = 0;
+    FillDropTally tally;
     for (const idx i : dist.owned_rows[r]) {
       if (!dist.interface[i]) continue;
       const real tau_i = opts.tau * norms[i];
@@ -150,7 +167,7 @@ void run_initial_reduction(sim::Machine& machine, const DistCsr& dist,
         if (eliminatable(c)) heap.push(c);  // interior => local => factored
       }
       if (!w.present(i)) w.insert(i, 0.0);  // keep the diagonal structurally
-      flops += eliminate_cascading(w, state, tau_i, heap, eliminatable);
+      flops += eliminate_cascading(w, state, tau_i, heap, eliminatable, tally);
 
       SparseRow& lstage = scratch.lstage;
       lstage.clear();
@@ -163,11 +180,15 @@ void run_initial_reduction(sim::Machine& machine, const DistCsr& dist,
           tail.push(c, v);  // unfactored interface columns (incl. diagonal)
         }
       }
+      const std::size_t l_before = lstage.size();
       select_largest(lstage, opts.m, tau_i, -1, scratch.kept);  // 3rd dropping rule (L side)
+      tally.dropped += l_before - lstage.size();
       state.lrows[i].cols = lstage.cols;
       state.lrows[i].vals = lstage.vals;
       if (tail_cap > 0) {
+        const std::size_t t_before = tail.size();
         select_largest(tail, tail_cap, 0.0, /*always_keep=*/i, scratch.kept);  // ILUT* cap
+        tally.dropped += t_before - tail.size();
       }
       lane.max_reduced_row =
           std::max(lane.max_reduced_row, static_cast<nnz_t>(tail.size()));
@@ -176,6 +197,7 @@ void run_initial_reduction(sim::Machine& machine, const DistCsr& dist,
     }
     ctx.charge_flops(flops);
     ctx.charge_mem(copied);
+    counters.commit(r, tally);
   }, "pilut/form_reduced");
 }
 

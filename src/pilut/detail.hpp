@@ -8,9 +8,40 @@
 #include "ptilu/ilu/factors.hpp"
 #include "ptilu/ilu/working_row.hpp"
 #include "ptilu/pilut/pilut.hpp"
+#include "ptilu/sim/metrics.hpp"
 #include "ptilu/support/check.hpp"
 
 namespace ptilu::pilut_detail {
+
+/// Fill/drop tally a rank body accumulates while factoring its rows:
+/// `fill` counts entries created beyond a row's original pattern by the
+/// elimination updates; `dropped` counts entries discarded by the dropping
+/// rules (1st rule in eliminate_cascading, 2nd/3rd rules and tail caps via
+/// select_largest at the call sites). Body-local so the threaded backend
+/// never shares a tally; committed per rank through FactorCounters.
+struct FillDropTally {
+  std::uint64_t fill = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// The per-rank fill/drop counter registration for a factorization driver
+/// (a no-op carrier when the machine has no metrics collector). Register
+/// once on the main thread before the steps, commit per rank inside them.
+struct FactorCounters {
+  sim::Metrics* metrics = nullptr;
+  std::uint32_t fill = 0;
+  std::uint32_t dropped = 0;
+
+  void commit(int rank, const FillDropTally& tally) const {
+    if (metrics == nullptr) return;
+    metrics->add_counter(fill, rank, tally.fill);
+    metrics->add_counter(dropped, rank, tally.dropped);
+  }
+};
+
+/// Register "factor/fill" / "factor/dropped" on the machine's metrics
+/// collector (idempotent; null-metrics carrier when collection is off).
+FactorCounters factor_counters(sim::Machine& machine);
 
 /// Shared state of a parallel factorization, indexed by ORIGINAL row ids.
 /// Rank bodies write only slots they own, so concurrent ranks never touch
@@ -54,11 +85,13 @@ void merge_lane_stats(std::vector<Lane>& lanes, PilutStats& stats);
 /// the `eliminatable` predicate; the heap orders columns by the comparator
 /// key (original id for interior phases, assigned new number for nested
 /// interface blocks — the caller pre-seeds the heap accordingly). Applies
-/// the 1st dropping rule. Returns the flop count.
+/// the 1st dropping rule, tallying fill-in and rule-1 drops. Returns the
+/// flop count.
 template <typename Eliminatable, typename Compare>
 std::uint64_t eliminate_cascading(WorkingRow& w, FactorState& state, real tau_i,
                                   PooledHeap<Compare>& heap,
-                                  Eliminatable&& eliminatable) {
+                                  Eliminatable&& eliminatable,
+                                  FillDropTally& tally) {
   std::uint64_t flops = 0;
   while (!heap.empty()) {
     const idx k = heap.pop();
@@ -66,6 +99,7 @@ std::uint64_t eliminate_cascading(WorkingRow& w, FactorState& state, real tau_i,
     ++flops;
     if (std::abs(multiplier) < tau_i) {  // 1st dropping rule
       w.set(k, 0.0);
+      ++tally.dropped;
       continue;
     }
     w.set(k, multiplier);
@@ -81,6 +115,7 @@ std::uint64_t eliminate_cascading(WorkingRow& w, FactorState& state, real tau_i,
         w.accumulate(c, update);
       } else {
         w.insert(c, update);
+        ++tally.fill;
         if (eliminatable(c)) heap.push(c);
       }
     }

@@ -59,9 +59,11 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
 
   // The zero-fill numeric kernel: load the pattern row, eliminate the given
   // factored columns in ascending new-number order, updates restricted to
-  // existing pattern positions.
+  // existing pattern positions. Discarded out-of-pattern updates are the
+  // PILU0 analogue of dropping (fill is structurally zero).
   const auto factor_row = [&](Lane& lane, idx i, const IdxVec& factored_cols,
-                              const auto& urow_of) -> std::uint64_t {
+                              const auto& urow_of,
+                              pilut_detail::FillDropTally& tally) -> std::uint64_t {
     WorkingRow& w = lane.w;
     std::uint64_t flops = 0;
     bool diag_present = false;
@@ -81,6 +83,8 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
         if (w.present(c)) {  // zero-fill: discard updates outside the pattern
           w.accumulate(c, -multiplier * urow.vals[p]);
           flops += 2;
+        } else {
+          ++tally.dropped;
         }
       }
     }
@@ -109,15 +113,16 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
     w.clear();
   };
 
-  sim::Trace* const tr = machine.trace();
+  const pilut_detail::FactorCounters counters = pilut_detail::factor_counters(machine);
 
   // ===================== Phase 1: interior factorization ==================
   {
-  sim::ScopedPhase span(tr, "factor/interior");
+  sim::ScopedPhase span(machine, "factor/interior");
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
     Lane& lane = lanes[static_cast<std::size_t>(ctx.lane())];
     std::uint64_t flops = 0;
+    pilut_detail::FillDropTally tally;
     IdxVec factored_cols;
     for (const idx i : dist.owned_rows[r]) {
       if (dist.interface[i]) continue;
@@ -127,10 +132,11 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
         if (c < i && !dist.interface[c]) factored_cols.push_back(c);
       }
       flops += factor_row(lane, i, factored_cols,
-                          [&](idx k) -> const SparseRow& { return urows[k]; });
+                          [&](idx k) -> const SparseRow& { return urows[k]; }, tally);
       split_row(lane, i, [&](idx c) { return c < i && !dist.interface[c]; });
     }
     ctx.charge_flops(flops);
+    counters.commit(r, tally);
   }, "pilu0/interior");
   }
   stats.time_interior = machine.modeled_time();
@@ -155,7 +161,7 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
   std::vector<std::vector<IdxVec>> adj(nranks);
   IdxVec pos_dense(n, -1);
   {
-  sim::ScopedPhase span(tr, "factor/color/setup");
+  sim::ScopedPhase span(machine, "factor/color/setup");
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
     adj[r].resize(active[r].size());
@@ -175,7 +181,7 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
 
   std::vector<IdxVec> classes;  // color classes (global ids)
   {
-    sim::ScopedPhase color_span(tr, "factor/color");
+    sim::ScopedPhase color_span(machine, "factor/color");
     DistMisScratch mis_scratch;
     // The residual graph lives directly in the DistGraph: each class strips
     // its vertices in place instead of deep-copying the adjacency per color.
@@ -216,7 +222,7 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
   sched.level_start.push_back(sched.n_interior);
   std::vector<std::uint8_t> class_of(n, 0);
   {
-  sim::ScopedPhase span(tr, "factor/number");
+  sim::ScopedPhase span(machine, "factor/number");
   for (const auto& cls : classes) {
     std::vector<IdxVec> by_rank(nranks);
     for (const idx v : cls) by_rank[dist.owner[v]].push_back(v);
@@ -233,7 +239,7 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
 
   // ================== Factor the interface rows class by class ============
   std::vector<std::uint8_t> factored_interface(n, 0);
-  sim::ScopedPhase interface_phase(tr, "factor/interface");
+  sim::ScopedPhase interface_phase(machine, "factor/interface");
   for (const auto& cls : classes) {
     std::vector<std::uint8_t> in_class(n, 0);
     for (const idx v : cls) in_class[v] = 1;
@@ -243,7 +249,7 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
     // requests are known a priori).
     std::vector<std::unordered_map<idx, SparseRow>> remote_urows(nranks);
     {
-    sim::ScopedPhase span(tr, "exchange");
+    sim::ScopedPhase span(machine, "exchange");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
       std::vector<IdxVec> requests(nranks);
@@ -286,7 +292,7 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
     }, "pilu0/exchange/reply");
     }
     {
-    sim::ScopedPhase span(tr, "factor");
+    sim::ScopedPhase span(machine, "factor");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
       IdxVec cols_payload;
@@ -317,6 +323,7 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
 
       Lane& lane = lanes[static_cast<std::size_t>(ctx.lane())];
       std::uint64_t flops = 0;
+      pilut_detail::FillDropTally tally;
       IdxVec factored_cols;
       for (const idx i : active[r]) {
         if (!in_class[i]) continue;
@@ -331,12 +338,13 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
         std::sort(factored_cols.begin(), factored_cols.end(), [&](idx x, idx y) {
           return sched.newnum[x] < sched.newnum[y];
         });
-        flops += factor_row(lane, i, factored_cols, urow_of);
+        flops += factor_row(lane, i, factored_cols, urow_of, tally);
         split_row(lane, i, [&](idx c) {
           return !dist.interface[c] || factored_interface[c];
         });
       }
       ctx.charge_flops(flops);
+      counters.commit(r, tally);
     }, "pilu0/factor_class");
     }
     for (const idx v : cls) factored_interface[v] = 1;

@@ -117,8 +117,8 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
   // Phase tags cover the paper's breakdown of interface work: communication
   // setup, independent-set discovery (tagged inside mis_dist), numbering,
   // factoring the set, U-row exchange, and reduced-matrix formation.
-  sim::Trace* const tr = machine.trace();
-  sim::ScopedPhase interface_phase(tr, "factor/interface");
+  const pilut_detail::FactorCounters counters = pilut_detail::factor_counters(machine);
+  sim::ScopedPhase interface_phase(machine, "factor/interface");
   while (remaining > 0) {
     // --- Build the symmetrized distributed graph of the reduced matrix.
     // Tail columns are exactly the unfactored interface vertices, so the
@@ -126,7 +126,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
     // remote owners travel in one superstep (the "communication setup").
     std::vector<std::vector<IdxVec>>& adj = graph.adj;
     {
-    sim::ScopedPhase span(tr, "setup");
+    sim::ScopedPhase span(machine, "setup");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
       std::vector<IdxVec>& reverse_out =
@@ -216,7 +216,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
       }
     }
     {
-      sim::ScopedPhase span(tr, "number");
+      sim::ScopedPhase span(machine, "number");
       machine.collective(static_cast<std::uint64_t>(iset.size()) * sizeof(idx) / nranks +
                          sizeof(idx), "pilut/number");
     }
@@ -224,12 +224,13 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
     // --- Factor the rows of I_l (only U rows are created; the paper's
     // observation that independence makes this communication-free).
     {
-    sim::ScopedPhase span(tr, "factor");
+    sim::ScopedPhase span(machine, "factor");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
       Lane& lane = lanes[static_cast<std::size_t>(ctx.lane())];
       FactorScratch& scratch = lane.scratch;
       std::uint64_t flops = 0;
+      pilut_detail::FillDropTally tally;
       for (const idx v : active[r]) {
         if (!in_set[v]) continue;
         const real tau_v = opts.tau * norms[v];
@@ -245,7 +246,9 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
           }
         }
         flops += tail.size();
+        const std::size_t u_before = ustage.size();
         select_largest(ustage, opts.m, tau_v, -1, scratch.kept);  // 2nd dropping rule
+        tally.dropped += u_before - ustage.size();
         diag = guarded_pivot(v, diag,
                              opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[v] : 0.0,
                              lane.pivots_guarded);
@@ -255,6 +258,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
         tail.clear();
       }
       ctx.charge_flops(flops);
+      counters.commit(r, tally);
     }, "pilut/factor_set");
     }
 
@@ -262,7 +266,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
     // scans its remaining rows' tails for set members owned elsewhere,
     // requests those rows, and owners reply within the same superstep pair.
     {
-    sim::ScopedPhase span(tr, "exchange");
+    sim::ScopedPhase span(machine, "exchange");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
       std::vector<IdxVec>& requests =
@@ -309,7 +313,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
     // --- Receive U rows and eliminate I_l columns from the remaining rows
     // (Algorithm 4.2), forming the next reduced matrix.
     {
-    sim::ScopedPhase span(tr, "reduce");
+    sim::ScopedPhase span(machine, "reduce");
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
       Lane& lane = lanes[static_cast<std::size_t>(ctx.lane())];
@@ -358,6 +362,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
       };
 
       std::uint64_t flops = 0, copied = 0;
+      pilut_detail::FillDropTally tally;
       for (const idx i : active[r]) {
         if (in_set[i]) continue;
         SparseRow& tail = state.tails[i];
@@ -382,6 +387,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
           ++flops;
           if (std::abs(multiplier) < tau_i) {  // 1st dropping rule
             w.set(k, 0.0);
+            ++tally.dropped;
             continue;
           }
           w.set(k, multiplier);
@@ -394,6 +400,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
               w.accumulate(c, update);
             } else {
               w.insert(c, update);  // fill lands on unfactored columns only
+              ++tally.fill;
             }
           }
         }
@@ -402,14 +409,20 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
           const real v = w.value(k);
           if (v != 0.0) lrow.push(k, v);
         }
+        const std::size_t l_before = lrow.size();
         select_largest(lrow, opts.m, tau_i, -1, scratch.kept);
+        tally.dropped += l_before - lrow.size();
         // Rebuild the tail from the unfactored columns.
         tail.clear();
         for (const idx c : w.touched()) {
           if (in_set[c]) continue;
           tail.push(c, w.value(c));
         }
-        if (tail_cap > 0) select_largest(tail, tail_cap, 0.0, i, scratch.kept);
+        if (tail_cap > 0) {
+          const std::size_t t_before = tail.size();
+          select_largest(tail, tail_cap, 0.0, i, scratch.kept);
+          tally.dropped += t_before - tail.size();
+        }
         lane.max_reduced_row =
             std::max(lane.max_reduced_row, static_cast<nnz_t>(tail.size()));
         copied += tail.size() * (sizeof(idx) + sizeof(real));
@@ -417,6 +430,7 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
       }
       ctx.charge_flops(flops);
       ctx.charge_mem(copied);
+      counters.commit(r, tally);
     }, "pilut/reduce");
     }
 

@@ -72,6 +72,7 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
   // Factor the rows marked stage_interior on each host (sequential within a
   // host, concurrent across hosts), then reduce the remaining rows against
   // them. Used by both the partitioned stages and the sequential tail.
+  const pilut_detail::FactorCounters counters = pilut_detail::factor_counters(machine);
   const auto run_stage = [&]() {
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
@@ -79,6 +80,7 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
       WorkingRow& w = lane.w;
       FactorScratch& scratch = lane.scratch;
       std::uint64_t flops = 0, copied = 0;
+      pilut_detail::FillDropTally tally;
       const auto by_newnum = [&](idx x, idx y) {
         return sched.newnum[x] > sched.newnum[y];  // min-heap on new number
       };
@@ -99,7 +101,8 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
           w.insert(tail.cols[p], tail.vals[p]);
           if (eliminatable(tail.cols[p])) heap.push(tail.cols[p]);
         }
-        flops += pilut_detail::eliminate_cascading(w, state, tau_i, heap, eliminatable);
+        flops += pilut_detail::eliminate_cascading(w, state, tau_i, heap, eliminatable,
+                                                   tally);
 
         SparseRow& lstage = scratch.lstage;
         SparseRow& ustage = scratch.ustage;
@@ -116,8 +119,10 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
             ustage.push(c, v);  // factored later (larger new number)
           }
         }
+        const std::size_t staged = lstage.size() + ustage.size();
         select_largest(lstage, opts.m, tau_i, -1, scratch.kept);
         select_largest(ustage, opts.m, tau_i, -1, scratch.kept);
+        tally.dropped += staged - lstage.size() - ustage.size();
         diag = guarded_pivot(i, diag,
                              opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0,
                              lane.pivots_guarded);
@@ -150,18 +155,25 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
           w.insert(tail.cols[p], tail.vals[p]);
           if (eliminatable(tail.cols[p])) heap.push(tail.cols[p]);
         }
-        flops += pilut_detail::eliminate_cascading(w, state, tau_i, heap, eliminatable);
+        flops += pilut_detail::eliminate_cascading(w, state, tau_i, heap, eliminatable,
+                                                   tally);
 
         SparseRow& lrow = state.lrows[i];
         for (const idx c : w.touched()) {
           if (eliminatable(c) && w.value(c) != 0.0) lrow.push(c, w.value(c));
         }
+        const std::size_t l_before = lrow.size();
         select_largest(lrow, opts.m, tau_i, -1, scratch.kept);  // 3rd dropping rule
+        tally.dropped += l_before - lrow.size();
         tail.clear();
         for (const idx c : w.touched()) {
           if (!eliminatable(c)) tail.push(c, w.value(c));
         }
-        if (tail_cap > 0) select_largest(tail, tail_cap, 0.0, i, scratch.kept);
+        if (tail_cap > 0) {
+          const std::size_t t_before = tail.size();
+          select_largest(tail, tail_cap, 0.0, i, scratch.kept);
+          tally.dropped += t_before - tail.size();
+        }
         lane.max_reduced_row =
             std::max(lane.max_reduced_row, static_cast<nnz_t>(tail.size()));
         copied += tail.size() * (sizeof(idx) + sizeof(real));
@@ -169,18 +181,18 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
       }
       ctx.charge_flops(flops);
       ctx.charge_mem(copied);
+      counters.commit(r, tally);
     }, "nested/stage");
   };
 
   int depth = 0;
-  sim::Trace* const tr = machine.trace();
-  sim::ScopedPhase nested_phase(tr, "factor/nested");
+  sim::ScopedPhase nested_phase(machine, "factor/nested");
   while (total_active > 0) {
     const bool sequential_tail = total_active <= nested.sequential_cutoff ||
                                  depth >= nested.max_depth || nranks == 1;
 
     if (sequential_tail) {
-      sim::ScopedPhase span(tr, "sequential");
+      sim::ScopedPhase span(machine, "sequential");
       // Gather everything onto rank 0 and factor the block sequentially.
       for (int r = 1; r < nranks; ++r) {
         for (const idx v : active[r]) {
@@ -219,7 +231,7 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
     std::vector<std::vector<std::pair<idx, idx>>> edge_lanes(
         static_cast<std::size_t>(machine.scratch_lanes()));
     {
-      sim::ScopedPhase span(tr, "graph");
+      sim::ScopedPhase span(machine, "graph");
       machine.step([&](sim::RankContext& ctx) {
         const int r = ctx.rank();
         auto& lane_edges = edge_lanes[static_cast<std::size_t>(ctx.lane())];
@@ -270,7 +282,7 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
     // --- Migrate every active row to its sub-domain's host rank.
     std::vector<IdxVec> new_active(nranks);
     {
-      sim::ScopedPhase span(tr, "migrate");
+      sim::ScopedPhase span(machine, "migrate");
       for (idx c = 0; c < reduced_graph.n; ++c) {
         const idx v = verts[c];
         const int new_host = part.part[c];
@@ -295,12 +307,12 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
       }
     }
     {
-      sim::ScopedPhase span(tr, "number");
+      sim::ScopedPhase span(machine, "number");
       machine.collective(static_cast<std::uint64_t>(stage_count) * sizeof(idx) / nranks +
                          sizeof(idx), "nested/number");
     }
     {
-      sim::ScopedPhase span(tr, "stage");
+      sim::ScopedPhase span(machine, "stage");
       run_stage();
     }
 

@@ -103,14 +103,13 @@ void DistTriangularSolver::forward(sim::Machine& machine, const RealVec& b,
   PTILU_CHECK(b.size() == static_cast<std::size_t>(l.n_rows) && y.size() == b.size(),
               "forward size mismatch");
   std::vector<std::unordered_map<idx, real>> ghost(sched.nranks);
-  sim::Trace* const tr = machine.trace();
-  sim::ScopedPhase solve_phase(tr, "trisolve/forward");
+  sim::ScopedPhase solve_phase(machine, "trisolve/forward");
 
   // Phase 1: interior blocks — local work (interior rows only reference
   // their own rank's interior columns), then ship any interior values that
   // migrated interface rows on other ranks will need.
   {
-  sim::ScopedPhase span(tr, "interior");
+  sim::ScopedPhase span(machine, "interior");
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
     const auto [begin, end] = sched.interior_range[r];
@@ -131,7 +130,7 @@ void DistTriangularSolver::forward(sim::Machine& machine, const RealVec& b,
   }
 
   // Phase 2: one superstep per independent-set level.
-  sim::ScopedPhase levels_span(tr, "levels");
+  sim::ScopedPhase levels_span(machine, "levels");
   for (int level = 0; level < levels(); ++level) {
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
@@ -166,12 +165,11 @@ void DistTriangularSolver::backward(sim::Machine& machine, const RealVec& yin,
   PTILU_CHECK(yin.size() == static_cast<std::size_t>(u.n_rows) && x.size() == yin.size(),
               "backward size mismatch");
   std::vector<std::unordered_map<idx, real>> ghost(sched.nranks);
-  sim::Trace* const tr = machine.trace();
-  sim::ScopedPhase solve_phase(tr, "trisolve/backward");
+  sim::ScopedPhase solve_phase(machine, "trisolve/backward");
 
   // Phase 1: interface levels in reverse order.
   {
-  sim::ScopedPhase span(tr, "levels");
+  sim::ScopedPhase span(machine, "levels");
   for (int level = levels() - 1; level >= 0; --level) {
     machine.step([&](sim::RankContext& ctx) {
       const int r = ctx.rank();
@@ -203,7 +201,7 @@ void DistTriangularSolver::backward(sim::Machine& machine, const RealVec& yin,
   // own interior block plus interface columns — the latter may live on
   // another rank when rows migrated (nested variant), so read via ghosts.
   {
-  sim::ScopedPhase span(tr, "interior");
+  sim::ScopedPhase span(machine, "interior");
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
     drain_ghosts(ctx, ghost[r]);

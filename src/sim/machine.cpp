@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "ptilu/sim/conformance.hpp"
+#include "ptilu/sim/metrics.hpp"
 #include "ptilu/sim/trace.hpp"
 
 namespace ptilu::sim {
@@ -231,6 +232,9 @@ Machine::Machine(int nranks, const Options& options)
   if (options.check) {
     checker_ = std::make_unique<Conformance>(nranks, options.transcript_tail);
   }
+  if (options.metrics) {
+    metrics_ = std::make_unique<Metrics>(nranks);
+  }
 }
 
 Machine::~Machine() = default;
@@ -303,6 +307,9 @@ void Machine::post(int from, int to, int tag, std::vector<std::byte> payload) {
     }
   }
   clock_[from] += cost;
+  // Rank-local like the staged outbox below: only `from`'s comm-matrix row
+  // is touched, so the threaded backend needs no merge machinery here.
+  if (metrics_ != nullptr) metrics_->on_send(from, to, bytes);
   // Staged in the *sender's* slot (no cross-rank write); the barrier merges
   // the stages destination-wise in sender-rank order, reproducing exactly
   // the delivery order of a per-destination push.
@@ -426,6 +433,8 @@ void Machine::step(const std::function<void(RankContext&)>& body,
     }
     trace_->sync(horizon);
   }
+  // Pre-fill clocks carry the straggler/busy information; main thread only.
+  if (metrics_ != nullptr) metrics_->on_sync(clock_, horizon);
   std::fill(clock_.begin(), clock_.end(), horizon);
   ++supersteps_;
 }
@@ -494,6 +503,7 @@ void Machine::charge_transfer(int from, int to, std::uint64_t bytes,
   }
   clock_[from] += send_cost;
   clock_[to] += recv_cost;
+  if (metrics_ != nullptr) metrics_->on_transfer(from, to, bytes);
 }
 
 void Machine::collective(std::uint64_t payload_bytes, std::string_view site) {
@@ -523,6 +533,12 @@ void Machine::collective(std::uint64_t payload_bytes, std::string_view site) {
     }
     trace_->sync(horizon);
   }
+  if (metrics_ != nullptr) {
+    // Tree hops/payloads are tracked separately from the point-to-point
+    // comm matrix so both reconcile exactly with the counter bumps below.
+    metrics_->on_collective(hop_msgs, payload_bytes);
+    metrics_->on_sync(clock_, horizon);
+  }
   std::fill(clock_.begin(), clock_.end(), horizon);
   for (auto& c : counters_) {
     c.messages_sent += hop_msgs;
@@ -550,7 +566,22 @@ void Machine::check_quiescent(std::string_view site) {
   if (checker_ != nullptr) checker_->on_quiescent(site);
 }
 
+void Machine::push_phase(std::string_view name) {
+  PTILU_ASSERT(tl_current_rank == -1, "phase pushed inside a superstep body");
+  if (trace_ != nullptr) trace_->push_phase(name);
+  if (metrics_ != nullptr) metrics_->push_phase(name);
+}
+
+void Machine::pop_phase() {
+  PTILU_ASSERT(tl_current_rank == -1, "phase popped inside a superstep body");
+  if (trace_ != nullptr) trace_->pop_phase();
+  if (metrics_ != nullptr) metrics_->pop_phase();
+}
+
 void Machine::reset() {
+  // Metrics first: it flushes the trailing clock advance and banks the
+  // counters this reset is about to zero.
+  if (metrics_ != nullptr) metrics_->on_reset(clock_, counters_);
   std::fill(clock_.begin(), clock_.end(), 0.0);
   counters_.assign(nranks_, RankCounters{});
   for (auto& box : inbox_) box.clear();

@@ -5,10 +5,24 @@
 #include <fstream>
 #include <ostream>
 
+#include "ptilu/sim/machine.hpp"
 #include "ptilu/support/check.hpp"
 #include "ptilu/support/table.hpp"
 
 namespace ptilu::sim {
+
+ScopedPhase::ScopedPhase(Machine& machine, std::string_view name)
+    : machine_(&machine) {
+  machine_->push_phase(name);
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (machine_ != nullptr) {
+    machine_->pop_phase();
+  } else if (trace_ != nullptr) {
+    trace_->pop_phase();
+  }
+}
 
 namespace {
 

@@ -1,0 +1,58 @@
+// Generates a small but complete metrics run report for the ctest validator
+// (scripts/check_report.py): a 4-rank PILUT factorization, a machine reset
+// (so the report spans two counter epochs), one forward+backward
+// substitution, and a short distributed GMRES. Prints the straggler table so
+// failures are diagnosable from the ctest log.
+//
+// Usage: ptilu_report_smoke <output.report.json>
+#include <iostream>
+
+#include "ptilu/dist/distcsr.hpp"
+#include "ptilu/graph/graph.hpp"
+#include "ptilu/krylov/gmres_dist.hpp"
+#include "ptilu/part/partition.hpp"
+#include "ptilu/pilut/pilut.hpp"
+#include "ptilu/pilut/trisolve_dist.hpp"
+#include "ptilu/sim/machine.hpp"
+#include "ptilu/sim/metrics.hpp"
+#include "ptilu/workloads/grids.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ptilu;
+  if (argc != 2) {
+    std::cerr << "usage: ptilu_report_smoke <output.report.json>\n";
+    return 2;
+  }
+
+  const int nranks = 4;
+  const Csr a = workloads::convection_diffusion_2d(16, 16, 10.0, 20.0);
+  const Graph g = graph_from_pattern(a);
+  const Partition p = partition_kway(g, nranks, {.seed = 1});
+  const DistCsr dist = DistCsr::create(a, p);
+  const Halo halo = Halo::build(dist);
+
+  sim::Machine::Options opts;
+  opts.metrics = true;
+  sim::Machine machine(nranks, opts);
+
+  const PilutResult fact =
+      pilut_factor(machine, dist, {.m = 5, .tau = 1e-2, .pivot_rel = 1e-12});
+
+  const DistTriangularSolver solver(fact.factors, fact.schedule);
+  const RealVec b(dist.n(), 1.0);
+  RealVec x(dist.n(), 0.0);
+  machine.reset();
+  solver.apply(machine, b, x);
+
+  RealVec x2(dist.n(), 0.0);
+  const GmresResult gres = gmres_dist(machine, dist, halo, fact, b, x2,
+                                      {.restart = 10, .max_matvecs = 100, .rtol = 1e-6});
+
+  sim::Metrics* const metrics = machine.metrics();
+  metrics->write_report_file(argv[1], machine,
+                             {{"harness", "\"report_smoke\""},
+                              {"procs", std::to_string(nranks)}});
+  metrics->write_straggler_table(std::cout, machine);
+  std::cout << "gmres matvecs " << gres.matvecs << ", wrote " << argv[1] << "\n";
+  return 0;
+}
