@@ -85,6 +85,20 @@ void run_matrix(const std::string& name, const Csr& matrix, const FactorConfig& 
 int main(int argc, char** argv) {
   using namespace ptilu;
   using namespace ptilu::bench;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--help") {
+      std::cout
+          << "ablation_ordering: ILUT preprocessing ablation (EXPERIMENTS.md)\n"
+             "  --m=N                ILUT fill per row (default 10)\n"
+             "  --tau=T              ILUT drop threshold (default 1e-3)\n"
+             "  --procs=P            ranks for the observed parallel rerun\n"
+             "                       (default 16; used with --trace/--report)\n"
+             "  --quick | --paper    problem-size presets\n"
+             "  --trace, --trace-dir=DIR, --report, --report-dir=DIR\n"
+             "  --backend=<sequential|threads>, --threads=N\n";
+      return 0;
+    }
+  }
   const Cli cli(argc, argv);
   const Scale scale = scale_from_cli(cli);
   const idx m = static_cast<idx>(cli.get_int("m", 10));

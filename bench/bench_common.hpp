@@ -195,7 +195,7 @@ class TraceReporter {
 /// counterpart of TraceReporter. With `--report`, the harness's observed
 /// rerun collects sim::Metrics and prints the critical-path/straggler
 /// breakdown; with `--report-dir`, it additionally writes the versioned
-/// `ptilu-report-v1` JSON (validated by scripts/check_report.py) into the
+/// `ptilu-report-v2` JSON (validated by scripts/check_report.py) into the
 /// directory (which must exist). Like tracing, only the observed rerun is
 /// instrumented — the measurement sweeps are unaffected.
 class ReportWriter {

@@ -44,12 +44,22 @@ struct DistMisOptions {
 /// once per reduced-matrix level — hundreds to thousands of times — so the
 /// scratch is allocated once and reset via touched-lists between calls.
 /// Besides the status arrays it pools every per-call buffer whose repeated
-/// construction showed up in wall-clock profiles: the p*p outgoing update
-/// batches, a per-vertex CSR of remote peer ranks (so a status-change
+/// construction showed up in wall-clock profiles: the per-neighbor outgoing
+/// update batches, a per-vertex CSR of remote peer ranks (so a status-change
 /// notification walks the handful of peers instead of the full adjacency
 /// list), and a per-round memo of the Luby vertex keys (so a key is hashed
 /// once per round instead of once per incident edge). None of this changes
 /// the modeled machine costs — the same messages and charges are produced.
+///
+/// Sparse neighbor routing: each rank's outgoing batches are indexed by a
+/// *slot* into its sorted neighbor list `nbrs[rank]` (the ranks owning at
+/// least one neighbor of its vertices), not by peer rank. Total batch
+/// storage is O(sum of neighbor degrees) instead of the former O(p²)
+/// [rank][peer] arrays, and flushing walks each rank's few slots instead of
+/// all p peers per round — the allocations that blocked scaling the
+/// simulated machine to thousands of ranks (ROADMAP item 2). Slots are
+/// sorted by peer rank, so flushing in slot order reproduces the dense
+/// peer scan's ascending send order byte-for-byte.
 ///
 /// Buffers indexed [lane] are per-execution-lane working storage: one lane
 /// under the sequential backend (shared by the ranks running one after
@@ -62,10 +72,11 @@ struct DistMisScratch {
   std::vector<IdxVec> touched;                    // entries to reset per rank
 
   // Pooled per-call working buffers (capacity persists across calls).
-  std::vector<std::vector<IdxVec>> in_batch;   // [rank][peer] queued kIn notices
-  std::vector<std::vector<IdxVec>> out_batch;  // [rank][peer] queued kOut notices
+  std::vector<std::vector<int>> nbrs;          // [rank] sorted dedup'd peer ranks
+  std::vector<std::vector<IdxVec>> in_batch;   // [rank][slot] queued kIn notices
+  std::vector<std::vector<IdxVec>> out_batch;  // [rank][slot] queued kOut notices
   std::vector<IdxVec> peer_start;  // [rank] CSR offsets: local vertex -> peer slice
-  std::vector<std::vector<int>> peer_list;  // [rank] remote peer ranks, dedup'd
+  std::vector<std::vector<int>> peer_list;  // [rank] slots into nbrs[rank], dedup'd
   std::vector<std::vector<std::uint8_t>> peer_stamp;  // [lane] dedup stamp over ranks
   std::vector<IdxVec> recv_buf;                       // [lane] message decode scratch
   std::vector<IdxVec> selected;   // [lane] per-round winners

@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -389,7 +390,17 @@ class Machine {
   int threads_option_;
   std::vector<double> clock_;
   std::vector<RankCounters> counters_;
-  std::vector<std::vector<Message>> inbox_;   // delivered this superstep
+  /// Messages delivered this superstep, keyed by destination rank. Sparse
+  /// by construction: only ranks with inbound traffic own an entry, so a
+  /// p=4096 machine whose ranks talk to a handful of grid neighbors stores
+  /// O(active destinations) vectors, not O(p). A sorted map (not a hash
+  /// map) so the receiver drain loop in step() visits destinations in
+  /// ascending rank order — the exact order the dense per-rank array was
+  /// walked in, keeping modeled clocks and traces bit-identical. Structure
+  /// is only mutated on the main thread at the barrier; rank bodies move
+  /// out their own mapped vector (recv_all), which never rebalances the
+  /// tree, so the threaded backend needs no locking here.
+  std::map<int, std::vector<Message>> inbox_;
   std::vector<std::vector<Posted>> staged_;   // posted this superstep, per sender
   std::uint64_t supersteps_ = 0;
   Trace* trace_ = nullptr;

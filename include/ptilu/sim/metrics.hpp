@@ -69,8 +69,13 @@ class Metrics {
     std::vector<double> busy;       ///< per rank; busy[r] <= elapsed, exactly
     std::vector<double> critical_s;          ///< elapsed won as the straggler
     std::vector<std::uint64_t> critical_steps;  ///< barriers won as straggler
-    std::vector<std::uint64_t> collective_messages;  ///< log2(p)-tree hops
-    std::vector<std::uint64_t> collective_bytes;     ///< collective payloads
+    /// Collective-tree accounting. Machine::collective charges every rank
+    /// the identical hop/payload amounts (the log2(p) combining tree), so
+    /// the per-rank arrays the v1 report carried were rank-uniform by
+    /// construction; v2 stores the single per-rank value — O(1) instead of
+    /// O(p) per phase, which matters at p=4096.
+    std::uint64_t collective_messages = 0;  ///< log2(p)-tree hops, per rank
+    std::uint64_t collective_bytes = 0;     ///< collective payload bytes, per rank
     std::vector<std::map<int, CommCell>> comm;       ///< [from] -> to -> cell
 
     bool active() const {
@@ -143,7 +148,8 @@ class Metrics {
   /// "modeled_s", recomputable bit-exactly from the serialized phases.
   double total_elapsed() const;
 
-  /// Versioned machine-readable run report ("ptilu-report-v1"). `run_info`
+  /// Versioned machine-readable run report ("ptilu-report-v2"; see
+  /// docs/OBSERVABILITY.md for the v1 -> v2 delta). `run_info`
   /// is a list of (key, raw JSON value) pairs embedded verbatim under
   /// "run" — that is where backend/params/config belong, so the
   /// machine-derived payload stays backend-invariant. Deterministic:

@@ -1,0 +1,58 @@
+// Streaming (rank-local) workload generators.
+//
+// ROADMAP item 2 scales the simulated machine to thousands of ranks and
+// 10M+ unknowns; at that size neither a rank nor the bench harness can
+// afford to materialize the global matrix. These generators produce an
+// arbitrary contiguous row range (a "slab") of a structured-grid operator
+// directly: a caller builds exactly the rows it owns, with global column
+// indices, and the slabs concatenate to the very matrix the dense
+// generators produce — byte-identical CSR arrays, held by
+// tests/test_workloads.cpp. The bench_scale sweep (docs/SCALING.md) streams
+// one slab at a time per modeled rank, so peak memory is the largest slab
+// rather than O(n), which is what lets a p=4096 / n=10M configuration run
+// in host RAM.
+//
+// Two operators are covered:
+//  * convection_diffusion_2d_rows — slabs of grids.hpp's G0 stand-in
+//    (5-point stencil, natural row ordering; no assembly-order ambiguity,
+//    so slabs reproduce the CooBuilder-built dense matrix exactly);
+//  * torso_fv_3d / torso_fv_3d_rows — a torso-like 3-D operator designed
+//    for streaming. The paper's TORSO stand-in (torso.hpp) assembles
+//    trilinear FEM elements whose duplicate-entry summation order cannot
+//    be reproduced row-locally; this variant keeps the torso properties
+//    the experiments exercise (ellipsoidal domain, strong conductivity
+//    jumps between tissues, grounded Neumann problem) but discretizes with
+//    a 7-point finite-volume stencil whose rows are pure functions of the
+//    voxel position, so the dense and streamed forms agree to the byte.
+#pragma once
+
+#include <cstdint>
+
+#include "ptilu/sparse/csr.hpp"
+#include "ptilu/support/types.hpp"
+#include "ptilu/workloads/torso.hpp"
+
+namespace ptilu::workloads {
+
+/// Rows [row_begin, row_end) of convection_diffusion_2d(nx, ny, cx, cy) as
+/// a CSR slab: row_end - row_begin local rows, nx*ny global columns.
+/// Concatenating the slabs of a partition of [0, nx*ny) reproduces the
+/// dense generator's row_ptr deltas, col_idx, and values byte-for-byte.
+Csr convection_diffusion_2d_rows(idx nx, idx ny, real cx, real cy,
+                                 idx row_begin, idx row_end);
+
+/// Torso-like 3-D finite-volume operator over the full nx*ny*nz voxel
+/// grid: -div(sigma grad u) with harmonic face averaging, tissue
+/// conductivities (muscle/lung/blood/bone) assigned per voxel from
+/// deterministic ellipsoidal regions plus a stateless hash perturbation,
+/// Neumann walls, and a ground_rel * sigma_muscle diagonal shift. Voxels
+/// outside the ellipsoidal torso are kept as identity rows (no
+/// elimination — node numbering must be position-derivable for streaming).
+/// Symmetric positive definite; reuses TorsoOptions (torso.hpp).
+Csr torso_fv_3d(const TorsoOptions& opts = {});
+
+/// Rows [row_begin, row_end) of torso_fv_3d(opts), byte-identical to the
+/// dense generator's row range (global columns, local row_ptr).
+Csr torso_fv_3d_rows(const TorsoOptions& opts, idx row_begin, idx row_end);
+
+}  // namespace ptilu::workloads

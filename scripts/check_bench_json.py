@@ -1,7 +1,23 @@
 #!/usr/bin/env python3
-"""Validate — and optionally compare — bench_wallclock JSON files.
+"""Validate — and optionally compare — bench JSON files.
 
-Validation checks (stdlib only, no third-party dependencies):
+Two schema families are understood, dispatched on the file's "schema":
+
+  * ptilu-bench-wallclock-v1/v2/v3 — bench_wallclock output (host seconds);
+  * ptilu-bench-scale-v1 — bench_scale output (modeled strong/weak scaling
+    sweeps; see docs/SCALING.md).
+
+bench_scale validation: top level carries "workload", the execution
+backend, and a "sweeps" list; every sweep has a mode in {strong, weak} and
+a non-empty "points" list with strictly ascending positive rank counts;
+every point's modeled phase seconds are positive and sum to
+"modeled_total_s" exactly (the harness reads phase boundaries off one
+modeled clock); "speedup" (strong) and "efficiency" (both modes) are
+recomputed from the sweep's first point and must match. Comparison mode is
+wallclock-only — modeled scale numbers are deterministic, so two runs of
+the same binary are byte-identical and a speedup ratio is meaningless.
+
+bench_wallclock validation checks (stdlib only, no third-party dependencies):
   * the file is valid JSON with "schema": "ptilu-bench-wallclock-v2" or
     -v3 (v1 files, which predate the execution-backend field, still
     validate);
@@ -51,6 +67,7 @@ import sys
 
 SCHEMAS = {"ptilu-bench-wallclock-v1", "ptilu-bench-wallclock-v2",
            "ptilu-bench-wallclock-v3"}
+SCALE_SCHEMA = "ptilu-bench-scale-v1"
 # v2 added the execution backend; v3 added optional per-bench report_checksum.
 SCHEMAS_WITH_BACKEND = {"ptilu-bench-wallclock-v2", "ptilu-bench-wallclock-v3"}
 SCHEMA_V3 = "ptilu-bench-wallclock-v3"
@@ -68,14 +85,99 @@ def load(path, errors):
         return None
 
 
+def validate_scale(doc, path, errors):
+    """Append ptilu-bench-scale-v1 violations for doc to errors."""
+    if not isinstance(doc.get("workload"), str) or not doc.get("workload"):
+        errors.append(f"{path}: missing 'workload'")
+    if doc.get("backend") not in BACKENDS:
+        errors.append(
+            f"{path}: 'backend' is {doc.get('backend')!r}, want one of {sorted(BACKENDS)}")
+    if not isinstance(doc.get("smoke"), bool):
+        errors.append(f"{path}: missing boolean 'smoke'")
+    sweeps = doc.get("sweeps")
+    if not isinstance(sweeps, list) or not sweeps:
+        errors.append(f"{path}: 'sweeps' must be a non-empty list")
+        return
+    for i, sweep in enumerate(sweeps):
+        where = f"{path}: sweeps[{i}]"
+        if not isinstance(sweep, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        mode = sweep.get("mode")
+        if mode not in ("strong", "weak"):
+            errors.append(f"{where}: mode {mode!r} not in ['strong', 'weak']")
+            continue
+        points = sweep.get("points")
+        if not isinstance(points, list) or not points:
+            errors.append(f"{where}: 'points' must be a non-empty list")
+            continue
+        last_p = 0
+        for j, pt in enumerate(points):
+            pwhere = f"{where}: points[{j}]"
+            if not isinstance(pt, dict):
+                errors.append(f"{pwhere}: not an object")
+                continue
+            for key in ("p", "n", "nnz", "rows_max", "supersteps"):
+                if not isinstance(pt.get(key), int) or pt.get(key) <= 0:
+                    errors.append(f"{pwhere}: '{key}' must be a positive int")
+            for key in ("messages", "bytes", "max_fanout"):
+                if not isinstance(pt.get(key), int) or pt.get(key) < 0:
+                    errors.append(f"{pwhere}: '{key}' must be a non-negative int")
+            phase_keys = ("modeled_factor_s", "modeled_trisolve_s", "modeled_gmres_s")
+            for key in phase_keys + ("modeled_total_s",):
+                if not isinstance(pt.get(key), (int, float)) or pt.get(key) <= 0:
+                    errors.append(f"{pwhere}: '{key}' must be a positive number")
+                    break
+            else:
+                total = pt["modeled_total_s"]
+                phase_sum = sum(pt[key] for key in phase_keys)
+                if abs(phase_sum - total) > 1e-12 * max(1.0, abs(total)):
+                    errors.append(
+                        f"{pwhere}: phase seconds sum to {phase_sum!r}, "
+                        f"'modeled_total_s' is {total!r}")
+            if isinstance(pt.get("p"), int):
+                if pt["p"] <= last_p:
+                    errors.append(f"{pwhere}: 'p' must be strictly ascending per sweep")
+                last_p = pt["p"]
+        # Speedup/efficiency are relative to the sweep's first point and
+        # must be reproducible from the recorded totals.
+        first = points[0] if isinstance(points[0], dict) else {}
+        t0, p0 = first.get("modeled_total_s"), first.get("p")
+        if not isinstance(t0, (int, float)) or not isinstance(p0, int) or t0 <= 0:
+            continue
+        for j, pt in enumerate(points):
+            pwhere = f"{where}: points[{j}]"
+            if not isinstance(pt, dict) or not isinstance(pt.get("modeled_total_s"),
+                                                          (int, float)):
+                continue
+            ratio = t0 / pt["modeled_total_s"]
+            if mode == "strong":
+                for key, want in (("speedup", ratio), ("efficiency", ratio * p0 / pt["p"])):
+                    got = pt.get(key)
+                    if not isinstance(got, (int, float)):
+                        errors.append(f"{pwhere}: missing numeric '{key}'")
+                    elif abs(got - want) > 1e-9 * max(1.0, abs(want)):
+                        errors.append(f"{pwhere}: '{key}' is {got!r}, recomputed {want!r}")
+            else:
+                got = pt.get("efficiency")
+                if not isinstance(got, (int, float)):
+                    errors.append(f"{pwhere}: missing numeric 'efficiency'")
+                elif abs(got - ratio) > 1e-9 * max(1.0, abs(ratio)):
+                    errors.append(f"{pwhere}: 'efficiency' is {got!r}, recomputed {ratio!r}")
+
+
 def validate(doc, path, errors):
     """Append schema violations for doc to errors."""
     if not isinstance(doc, dict):
         errors.append(f"{path}: top level is not a JSON object")
         return
+    if doc.get("schema") == SCALE_SCHEMA:
+        validate_scale(doc, path, errors)
+        return
     if doc.get("schema") not in SCHEMAS:
         errors.append(
-            f"{path}: schema is {doc.get('schema')!r}, want one of {sorted(SCHEMAS)}")
+            f"{path}: schema is {doc.get('schema')!r}, want one of "
+            f"{sorted(SCHEMAS | {SCALE_SCHEMA})}")
     if doc.get("schema") in SCHEMAS_WITH_BACKEND:
         if doc.get("backend") not in BACKENDS:
             errors.append(
@@ -225,7 +327,12 @@ def main() -> int:
         if doc is not None:
             validate(doc, path, errors)
     if not errors and args.compare:
-        compare(docs[0], docs[1], args, errors)
+        if any(doc.get("schema") == SCALE_SCHEMA for doc in docs):
+            errors.append(
+                "--compare supports wallclock files only: bench_scale output is "
+                "deterministic modeled time, so a run-over-run ratio is meaningless")
+        else:
+            compare(docs[0], docs[1], args, errors)
 
     if errors:
         for error in errors:
@@ -234,9 +341,15 @@ def main() -> int:
         return 1
     if not args.compare:
         doc = docs[0]
-        print(f"OK: {args.files[0]}: {len(doc['benches'])} benches, "
-              f"{doc['repetitions']} repetitions, "
-              f"backend {doc.get('backend', 'sequential')}")
+        if doc.get("schema") == SCALE_SCHEMA:
+            npoints = sum(len(s["points"]) for s in doc["sweeps"])
+            print(f"OK: {args.files[0]}: {len(doc['sweeps'])} sweeps, "
+                  f"{npoints} points, workload {doc['workload']}, "
+                  f"backend {doc['backend']}")
+        else:
+            print(f"OK: {args.files[0]}: {len(doc['benches'])} benches, "
+                  f"{doc['repetitions']} repetitions, "
+                  f"backend {doc.get('backend', 'sequential')}")
     return 0
 
 

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker (stdlib only).
+
+Two classes of doc rot that have actually bitten this repo:
+
+  * dead relative links — a file gets renamed (TRACING.md moving into
+    docs/, a script growing a new name) and a `[text](path)` reference in
+    another document keeps pointing at the old location;
+  * stale test-count claims — prose like "the suite's 363 tests" written
+    when the suite had 363 tests and never touched again.
+
+Link check: every markdown link whose target is not an absolute URL
+(http/https/mailto) or a pure in-page anchor must resolve, relative to the
+document's own directory, to an existing file or directory (an #anchor
+suffix is stripped first; anchors themselves are not verified).
+
+Test-count check: matches "N tests" / "N unit tests" claims. With
+--expect-tests N every claim must equal N (CI passes the live number from
+`ctest -N`); without it, all claims must at least agree with each other.
+Historical logs are exempt from both checks — CHANGES.md and ROADMAP.md
+record what *was* true, and ISSUE.md/PAPER.md/PAPERS.md/SNIPPETS.md are
+task/reference imports, not maintained documentation.
+
+Usage:
+  check_docs.py [--repo DIR] [--expect-tests N]
+
+Exit status 0 when clean, 1 on any violation.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Maintained documentation: subject to both checks. Everything else under
+# the repo (historical logs, imported references) is exempt.
+DOC_GLOBS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "CONTRIBUTING.md",
+             "docs/*.md")
+
+# [text](target) — target group stops at the first ')' so nested parens in
+# link text don't confuse it; images (![alt](...)) match the same way.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+TEST_COUNT_RE = re.compile(r"\b(\d{2,})\s+(?:unit\s+|tier-1\s+)?tests\b")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def doc_files(repo):
+    files = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(repo.glob(pattern)))
+    return files
+
+
+def check_links(path, repo, errors):
+    text = path.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            bare = target.split("#", 1)[0]
+            if not bare:
+                continue
+            resolved = (path.parent / bare).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{path.relative_to(repo)}:{lineno}: dead link "
+                    f"'{target}' (no such file {bare!r} relative to "
+                    f"{path.parent.relative_to(repo) or '.'})")
+
+
+def check_test_counts(files, repo, expect, errors):
+    claims = []  # (path, lineno, count)
+    for path in files:
+        for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(),
+                                      start=1):
+            for match in TEST_COUNT_RE.finditer(line):
+                claims.append((path, lineno, int(match.group(1))))
+    if expect is not None:
+        for path, lineno, count in claims:
+            if count != expect:
+                errors.append(
+                    f"{path.relative_to(repo)}:{lineno}: claims {count} tests, "
+                    f"the suite has {expect} (update the prose or drop the number)")
+    elif claims:
+        counts = {count for _, _, count in claims}
+        if len(counts) > 1:
+            spots = ", ".join(f"{p.relative_to(repo)}:{ln}={c}" for p, ln, c in claims)
+            errors.append(
+                f"test-count claims disagree ({spots}): at least one is stale")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--repo", default=None,
+                        help="repository root (default: this script's parent's parent)")
+    parser.add_argument("--expect-tests", type=int, default=None,
+                        help="require every 'N tests' claim to equal this number")
+    args = parser.parse_args()
+
+    repo = pathlib.Path(args.repo).resolve() if args.repo else \
+        pathlib.Path(__file__).resolve().parent.parent
+    files = doc_files(repo)
+    if not files:
+        print(f"FAIL: no documentation files found under {repo}")
+        return 1
+
+    errors = []
+    for path in files:
+        check_links(path, repo, errors)
+    check_test_counts(files, repo, args.expect_tests, errors)
+
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}")
+        print(f"{len(errors)} violation(s)")
+        return 1
+    print(f"OK: {len(files)} documents, links resolve, test-count claims "
+          f"{'match ' + str(args.expect_tests) if args.expect_tests is not None else 'agree'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,9 +37,13 @@ void DistMisScratch::ensure(int nranks, int lanes, idx n_global) {
     if (static_cast<idx>(s.size()) < n_global) s.assign(n_global, kCandidate);
   }
   if (static_cast<int>(touched.size()) < nranks) touched.resize(nranks);
+  // Outer vectors only: the per-rank batch vectors are sized by each rank's
+  // neighbor degree during setup, so total batch storage stays proportional
+  // to the communication graph — never the former O(nranks²).
   if (static_cast<int>(in_batch.size()) < nranks) {
-    in_batch.assign(nranks, std::vector<IdxVec>(nranks));
-    out_batch.assign(nranks, std::vector<IdxVec>(nranks));
+    nbrs.resize(nranks);
+    in_batch.resize(nranks);
+    out_batch.resize(nranks);
   }
   if (static_cast<int>(peer_start.size()) < nranks) {
     peer_start.resize(nranks);
@@ -96,13 +100,17 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
     auto& touched = sc.touched[r];
     auto& pstart = sc.peer_start[r];
     auto& plist = sc.peer_list[r];
+    auto& nbrs = sc.nbrs[r];
     auto& peer_stamp = sc.peer_stamp[static_cast<std::size_t>(ctx.lane())];
     const IdxVec& verts = graph.verts_of[r];
     pstart.clear();
     pstart.reserve(verts.size() + 1);
     pstart.push_back(0);
     plist.clear();
+    nbrs.clear();
     std::uint64_t scanned = 0;
+    // peer_stamp doubles as two dedup marks per peer: bit 0 scopes the
+    // per-vertex peer list, bit 1 the rank-wide neighbor list.
     for (std::size_t i = 0; i < verts.size(); ++i) {
       status[verts[i]] = kCandidate;
       touched.push_back(verts[i]);
@@ -113,25 +121,45 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
         if (peer != r) {
           status[u] = kCandidate;  // mirror entry
           touched.push_back(u);
-          if (!peer_stamp[peer]) {
-            peer_stamp[peer] = 1;
+          if (!(peer_stamp[peer] & 1)) {
+            peer_stamp[peer] |= 1;
             plist.push_back(peer);
+          }
+          if (!(peer_stamp[peer] & 2)) {
+            peer_stamp[peer] |= 2;
+            nbrs.push_back(peer);
           }
         }
       }
-      for (std::size_t p = first_peer; p < plist.size(); ++p) peer_stamp[plist[p]] = 0;
+      for (std::size_t p = first_peer; p < plist.size(); ++p) {
+        peer_stamp[plist[p]] &= static_cast<std::uint8_t>(~1);
+      }
       pstart.push_back(static_cast<idx>(plist.size()));
     }
+    // Sparse neighbor routing: sort the rank's few peers, then remap the
+    // per-vertex peer CSR from rank ids to slots into that sorted list, and
+    // size the slot-indexed outgoing batches by the neighbor degree.
+    // Flushing slots in order then visits peers in ascending rank order —
+    // the exact send order the dense 0..p-1 peer scan produced.
+    std::sort(nbrs.begin(), nbrs.end());
+    for (const int peer : nbrs) peer_stamp[peer] = 0;
+    for (int& entry : plist) {
+      entry = static_cast<int>(std::lower_bound(nbrs.begin(), nbrs.end(), entry) -
+                               nbrs.begin());
+    }
+    if (sc.in_batch[r].size() < nbrs.size()) sc.in_batch[r].resize(nbrs.size());
+    if (sc.out_batch[r].size() < nbrs.size()) sc.out_batch[r].resize(nbrs.size());
     ctx.charge_mem(scanned * sizeof(idx));
   }, "mis/setup");
   }
 
-  // Per-rank outgoing update batches, dense by peer (pooled in the scratch,
-  // cleared after each flush so capacity persists across rounds and calls).
+  // Per-rank outgoing update batches, slot-indexed by sorted neighbor
+  // (pooled in the scratch, cleared after each flush so capacity persists
+  // across rounds and calls).
   auto& in_batch = sc.in_batch;
   auto& out_batch = sc.out_batch;
   // Queue a status-change notice for every peer rank owning a neighbor of
-  // verts_of[r][i], via the precomputed peer CSR.
+  // verts_of[r][i], via the precomputed peer CSR (entries are slots).
   const auto notify = [&](int r, std::size_t i, idx v,
                           std::vector<IdxVec>& batch) {
     const auto& pstart = sc.peer_start[r];
@@ -140,14 +168,15 @@ IdxVec mis_dist(sim::Machine& machine, const DistGraph& graph, const DistMisOpti
     for (idx p = pstart[i]; p < end; ++p) batch[plist[p]].push_back(v);
   };
   const auto flush_batches = [&](sim::RankContext& ctx, int r) {
-    for (int peer = 0; peer < nranks; ++peer) {
-      if (!in_batch[r][peer].empty()) {
-        ctx.send_indices(peer, kTagIn, in_batch[r][peer]);
-        in_batch[r][peer].clear();
+    const auto& nbrs = sc.nbrs[r];
+    for (std::size_t s = 0; s < nbrs.size(); ++s) {
+      if (!in_batch[r][s].empty()) {
+        ctx.send_indices(nbrs[s], kTagIn, in_batch[r][s]);
+        in_batch[r][s].clear();
       }
-      if (!out_batch[r][peer].empty()) {
-        ctx.send_indices(peer, kTagOut, out_batch[r][peer]);
-        out_batch[r][peer].clear();
+      if (!out_batch[r][s].empty()) {
+        ctx.send_indices(nbrs[s], kTagOut, out_batch[r][s]);
+        out_batch[r][s].clear();
       }
     }
   };

@@ -199,9 +199,15 @@ std::vector<Message> RankContext::recv_all() {
   PTILU_ASSERT(tl_current_rank == -1 || tl_current_rank == rank_,
                "rank " << tl_current_rank << " drained rank " << rank_ << "'s inbox");
   if (machine_->checker_ != nullptr) machine_->checker_->on_recv_all(rank_);
+  // Sparse inbox: ranks with no inbound traffic have no map entry at all.
+  // find() only reads the tree and the exchange below only touches this
+  // rank's mapped vector, so concurrent drains from the worker pool are
+  // safe — the map's structure is mutated exclusively at the barrier.
+  const auto it = machine_->inbox_.find(rank_);
+  if (it == machine_->inbox_.end()) return {};
   // std::exchange (not a bare move) so a second drain in the same superstep
   // reads a well-defined empty inbox instead of a moved-from vector.
-  return std::exchange(machine_->inbox_[rank_], std::vector<Message>{});
+  return std::exchange(it->second, std::vector<Message>{});
 }
 
 void RankContext::declare_collective(CollectiveOp op, std::uint64_t bytes,
@@ -226,7 +232,6 @@ Machine::Machine(int nranks, const Options& options)
       threads_option_(options.threads),
       clock_(nranks, 0.0),
       counters_(nranks),
-      inbox_(nranks),
       staged_(nranks) {
   PTILU_CHECK(nranks >= 1, "machine needs at least one rank");
   if (options.check) {
@@ -405,20 +410,27 @@ void Machine::step(const std::function<void(RankContext&)>& body,
   if (checker_ != nullptr) checker_->on_barrier(supersteps_);
   // Deliver staged messages for the next superstep, destination-wise in
   // (sender rank, program order). This merge is the only point where
-  // messages cross ranks, and it runs on the main thread.
-  for (int r = 0; r < nranks_; ++r) inbox_[r].clear();
+  // messages cross ranks, and it runs on the main thread. The inbox map
+  // only grows entries for destinations that actually receive something,
+  // so delivery work is proportional to traffic, not to nranks.
+  inbox_.clear();
   for (int s = 0; s < nranks_; ++s) {
+    if (staged_[s].empty()) continue;
     for (Posted& p : staged_[s]) inbox_[p.to].push_back(std::move(p.msg));
     staged_[s].clear();
   }
   // Receivers pay the per-byte cost of draining their inbound traffic.
-  for (int r = 0; r < nranks_; ++r) {
+  // Only ranks with an inbox entry are visited (ascending rank order, the
+  // same order the old dense scan used); ranks without inbound traffic
+  // previously added a cost of exactly 0.0 and recorded no trace span, so
+  // skipping them is bit-identical.
+  for (auto& [r, box] : inbox_) {
     std::uint64_t inbound = 0;
-    for (const Message& m : inbox_[r]) inbound += m.payload.size();
+    for (const Message& m : box) inbound += m.payload.size();
     const double cost = static_cast<double>(inbound) * params_.beta;
     if (trace_ != nullptr && inbound > 0) {
       trace_->record(r, SpanKind::kRecv, clock_[r], clock_[r] + cost, 0, inbound,
-                     inbox_[r].size());
+                     box.size());
     }
     clock_[r] += cost;
   }
@@ -584,7 +596,7 @@ void Machine::reset() {
   if (metrics_ != nullptr) metrics_->on_reset(clock_, counters_);
   std::fill(clock_.begin(), clock_.end(), 0.0);
   counters_.assign(nranks_, RankCounters{});
-  for (auto& box : inbox_) box.clear();
+  inbox_.clear();
   for (auto& box : staged_) box.clear();
   for (auto& spans : pending_trace_) spans.clear();
   supersteps_ = 0;

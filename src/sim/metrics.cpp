@@ -151,8 +151,6 @@ Metrics::PhaseMetrics& Metrics::ensure_storage(std::uint32_t id) {
     pm.busy.assign(n, 0.0);
     pm.critical_s.assign(n, 0.0);
     pm.critical_steps.assign(n, 0);
-    pm.collective_messages.assign(n, 0);
-    pm.collective_bytes.assign(n, 0);
     pm.comm.resize(n);
   }
   return pm;
@@ -205,11 +203,12 @@ void Metrics::on_transfer(int from, int to, std::uint64_t bytes) {
 }
 
 void Metrics::on_collective(std::uint64_t hop_messages, std::uint64_t payload_bytes) {
+  // Every rank is charged identically by Machine::collective, so one scalar
+  // per phase carries the full per-rank accounting — no O(p) work or
+  // storage per collective.
   PhaseMetrics& pm = phases_[phase_stack_.back()];
-  for (int r = 0; r < nranks_; ++r) {
-    pm.collective_messages[static_cast<std::size_t>(r)] += hop_messages;
-    pm.collective_bytes[static_cast<std::size_t>(r)] += payload_bytes;
-  }
+  pm.collective_messages += hop_messages;
+  pm.collective_bytes += payload_bytes;
 }
 
 void Metrics::flush_clocks(const std::vector<double>& clocks) {
@@ -342,10 +341,35 @@ std::string Metrics::payload_json(const Machine& machine) {
     append_real_array(out, pm.critical_s);
     out += ",\n     \"critical_steps\": ";
     append_int_array(out, pm.critical_steps);
+    // v2: collectives charge every rank identically, so these are scalars
+    // (the uniform per-rank value), not nranks-long arrays.
     out += ",\n     \"collective_messages\": ";
-    append_int_array(out, pm.collective_messages);
-    out += ",\n     \"collective_bytes\": ";
-    append_int_array(out, pm.collective_bytes);
+    out += std::to_string(pm.collective_messages);
+    out += ", \"collective_bytes\": ";
+    out += std::to_string(pm.collective_bytes);
+    // Sparse comm summary: how many (from, to) pairs carried traffic, the
+    // phase-total messages/bytes over those pairs, and the widest per-rank
+    // fanout — readable at p=4096 where eyeballing the cell list is not.
+    std::uint64_t comm_pairs = 0;
+    std::uint64_t comm_messages = 0;
+    std::uint64_t comm_bytes = 0;
+    std::size_t comm_max_fanout = 0;
+    for (const auto& row : pm.comm) {
+      comm_pairs += row.size();
+      comm_max_fanout = std::max(comm_max_fanout, row.size());
+      for (const auto& [to, cell] : row) {
+        comm_messages += cell.messages;
+        comm_bytes += cell.bytes;
+      }
+    }
+    out += ",\n     \"comm_pairs\": ";
+    out += std::to_string(comm_pairs);
+    out += ", \"comm_messages\": ";
+    out += std::to_string(comm_messages);
+    out += ", \"comm_bytes\": ";
+    out += std::to_string(comm_bytes);
+    out += ", \"comm_max_fanout\": ";
+    out += std::to_string(comm_max_fanout);
     out += ",\n     \"comm\": [";
     bool first_cell = true;
     for (std::size_t from = 0; from < pm.comm.size(); ++from) {
@@ -414,7 +438,7 @@ void Metrics::write_report(
     std::ostream& os, const Machine& machine,
     const std::vector<std::pair<std::string, std::string>>& run_info) {
   std::string out;
-  out += "{\n  \"schema\": \"ptilu-report-v1\",\n  \"ranks\": ";
+  out += "{\n  \"schema\": \"ptilu-report-v2\",\n  \"ranks\": ";
   out += std::to_string(nranks_);
   out += ",\n  \"run\": {";
   for (std::size_t i = 0; i < run_info.size(); ++i) {

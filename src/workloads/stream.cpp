@@ -1,0 +1,194 @@
+#include "ptilu/workloads/stream.hpp"
+
+#include "ptilu/support/check.hpp"
+#include "ptilu/support/rng.hpp"
+
+namespace ptilu::workloads {
+
+namespace {
+
+/// Append one entry to a slab under construction.
+void push_entry(Csr& slab, idx col, real value) {
+  slab.col_idx.push_back(col);
+  slab.values.push_back(value);
+}
+
+/// Per-voxel conductivity field of the torso-like operator: a pure
+/// function of the voxel position (plus a stateless hash perturbation), so
+/// any rank can evaluate any voxel without global state — the property
+/// that makes the operator streamable.
+struct TissueField {
+  idx nx, ny, nz;
+  std::uint64_t seed;
+  real sigma_muscle, sigma_lung, sigma_blood, sigma_bone;
+
+  explicit TissueField(const TorsoOptions& opts)
+      : nx(opts.nx), ny(opts.ny), nz(opts.nz), seed(opts.seed),
+        sigma_muscle(opts.sigma_muscle), sigma_lung(opts.sigma_lung),
+        sigma_blood(opts.sigma_blood), sigma_bone(opts.sigma_bone) {}
+
+  /// Conductivity at voxel (x, y, z); 0 means air (outside the torso).
+  real sigma_at(idx x, idx y, idx z) const {
+    // Voxel-center coordinates normalized to [-1, 1] per axis.
+    const real gx = 2.0 * (static_cast<real>(x) + 0.5) / static_cast<real>(nx) - 1.0;
+    const real gy = 2.0 * (static_cast<real>(y) + 0.5) / static_cast<real>(ny) - 1.0;
+    const real gz = 2.0 * (static_cast<real>(z) + 0.5) / static_cast<real>(nz) - 1.0;
+    const auto inside = [&](real cx, real cy, real cz, real ax, real ay, real az) {
+      const real ex = (gx - cx) / ax;
+      const real ey = (gy - cy) / ay;
+      const real ez = (gz - cz) / az;
+      return ex * ex + ey * ey + ez * ez <= 1.0;
+    };
+    if (!inside(0.0, 0.0, 0.0, 0.95, 0.80, 0.95)) return 0.0;  // air
+    real sigma;
+    if (inside(0.0, -0.58, 0.0, 0.10, 0.10, 1.0)) {
+      sigma = sigma_bone;  // spine: a cylinder along z (az spans the torso)
+    } else if (inside(0.08, 0.15, 0.05, 0.22, 0.25, 0.28)) {
+      sigma = sigma_blood;  // heart chambers
+    } else if (inside(-0.45, 0.10, 0.15, 0.28, 0.35, 0.50) ||
+               inside(0.45, 0.10, 0.15, 0.28, 0.35, 0.50)) {
+      sigma = sigma_lung;
+    } else {
+      sigma = sigma_muscle;
+    }
+    // Small deterministic per-voxel perturbation (+-5%), stateless so it is
+    // identical regardless of which slab evaluates it.
+    const std::uint64_t id =
+        (static_cast<std::uint64_t>(z) * static_cast<std::uint64_t>(ny) +
+         static_cast<std::uint64_t>(y)) * static_cast<std::uint64_t>(nx) +
+        static_cast<std::uint64_t>(x);
+    const real u = static_cast<real>(mix64(seed ^ (id + 1)) >> 11) * 0x1.0p-53;
+    return sigma * (1.0 + 0.1 * (u - 0.5));
+  }
+};
+
+/// The 6 face couplings of voxel (x, y, z) in ascending-column order
+/// (z-1, y-1, x-1, x+1, y+1, z+1); 0 where there is no coupling (grid
+/// wall or air neighbor — homogeneous Neumann either way). Shared by the
+/// dense and streaming paths so both accumulate the diagonal from the
+/// identical doubles in the identical order.
+void face_weights(const TissueField& field, idx x, idx y, idx z, real w[6]) {
+  const real sc = field.sigma_at(x, y, z);
+  const auto harmonic = [&](real sn) {
+    return sn > 0.0 ? 2.0 * sc * sn / (sc + sn) : 0.0;
+  };
+  w[0] = z > 0 ? harmonic(field.sigma_at(x, y, z - 1)) : 0.0;
+  w[1] = y > 0 ? harmonic(field.sigma_at(x, y - 1, z)) : 0.0;
+  w[2] = x > 0 ? harmonic(field.sigma_at(x - 1, y, z)) : 0.0;
+  w[3] = x + 1 < field.nx ? harmonic(field.sigma_at(x + 1, y, z)) : 0.0;
+  w[4] = y + 1 < field.ny ? harmonic(field.sigma_at(x, y + 1, z)) : 0.0;
+  w[5] = z + 1 < field.nz ? harmonic(field.sigma_at(x, y, z + 1)) : 0.0;
+}
+
+}  // namespace
+
+Csr convection_diffusion_2d_rows(idx nx, idx ny, real cx, real cy,
+                                 idx row_begin, idx row_end) {
+  PTILU_CHECK(nx >= 1 && ny >= 1, "grid must be at least 1x1");
+  PTILU_CHECK(row_begin >= 0 && row_begin <= row_end && row_end <= nx * ny,
+              "row range [" << row_begin << ", " << row_end
+                            << ") out of bounds for n = " << nx * ny);
+  // Identical constant expressions to convection_diffusion_2d, so slab
+  // values reproduce the dense generator's doubles bit-for-bit.
+  const real h = 1.0 / static_cast<real>(nx + 1);
+  const real west = -1.0 - cx * h / 2.0;
+  const real east = -1.0 + cx * h / 2.0;
+  const real south = -1.0 - cy * h / 2.0;
+  const real north = -1.0 + cy * h / 2.0;
+
+  Csr slab(row_end - row_begin, nx * ny);
+  slab.col_idx.reserve(static_cast<std::size_t>(row_end - row_begin) * 5);
+  slab.values.reserve(static_cast<std::size_t>(row_end - row_begin) * 5);
+  for (idx row = row_begin; row < row_end; ++row) {
+    const idx x = row % nx;
+    const idx y = row / nx;
+    // Emit in ascending column order — exactly the order the dense
+    // generator's CooBuilder sort leaves each (duplicate-free) row in.
+    if (y > 0) push_entry(slab, row - nx, south);
+    if (x > 0) push_entry(slab, row - 1, west);
+    push_entry(slab, row, 4.0);
+    if (x + 1 < nx) push_entry(slab, row + 1, east);
+    if (y + 1 < ny) push_entry(slab, row + nx, north);
+    slab.row_ptr[row - row_begin + 1] = static_cast<nnz_t>(slab.col_idx.size());
+  }
+  return slab;
+}
+
+Csr torso_fv_3d(const TorsoOptions& opts) {
+  PTILU_CHECK(opts.nx >= 1 && opts.ny >= 1 && opts.nz >= 1,
+              "grid must be at least 1x1x1");
+  const TissueField field(opts);
+  const idx n = opts.nx * opts.ny * opts.nz;
+  const real ground = opts.ground_rel * opts.sigma_muscle;
+  // Assembled independently of the streaming path (CooBuilder with
+  // per-neighbor adds, like the other dense generators) so the slab
+  // byte-compare test exercises the streamed emission, not a tautology.
+  CooBuilder b(n, n);
+  b.reserve(static_cast<std::size_t>(n) * 7);
+  real w[6];
+  for (idx z = 0; z < opts.nz; ++z) {
+    for (idx y = 0; y < opts.ny; ++y) {
+      for (idx x = 0; x < opts.nx; ++x) {
+        const idx row = (z * opts.ny + y) * opts.nx + x;
+        if (field.sigma_at(x, y, z) <= 0.0) {
+          b.add(row, row, 1.0);  // air voxel: identity row
+          continue;
+        }
+        face_weights(field, x, y, z, w);
+        const idx col[6] = {row - opts.nx * opts.ny, row - opts.nx, row - 1,
+                            row + 1, row + opts.nx, row + opts.nx * opts.ny};
+        real diag = ground;
+        for (int k = 0; k < 6; ++k) {
+          diag += w[k];
+          if (w[k] > 0.0) b.add(row, col[k], -w[k]);
+        }
+        b.add(row, row, diag);
+      }
+    }
+  }
+  return b.to_csr();
+}
+
+Csr torso_fv_3d_rows(const TorsoOptions& opts, idx row_begin, idx row_end) {
+  PTILU_CHECK(opts.nx >= 1 && opts.ny >= 1 && opts.nz >= 1,
+              "grid must be at least 1x1x1");
+  const idx n = opts.nx * opts.ny * opts.nz;
+  PTILU_CHECK(row_begin >= 0 && row_begin <= row_end && row_end <= n,
+              "row range [" << row_begin << ", " << row_end
+                            << ") out of bounds for n = " << n);
+  const TissueField field(opts);
+  const real ground = opts.ground_rel * opts.sigma_muscle;
+  Csr slab(row_end - row_begin, n);
+  slab.col_idx.reserve(static_cast<std::size_t>(row_end - row_begin) * 7);
+  slab.values.reserve(static_cast<std::size_t>(row_end - row_begin) * 7);
+  real w[6];
+  for (idx row = row_begin; row < row_end; ++row) {
+    const idx x = row % opts.nx;
+    const idx y = (row / opts.nx) % opts.ny;
+    const idx z = row / (opts.nx * opts.ny);
+    if (field.sigma_at(x, y, z) <= 0.0) {
+      push_entry(slab, row, 1.0);
+      slab.row_ptr[row - row_begin + 1] = static_cast<nnz_t>(slab.col_idx.size());
+      continue;
+    }
+    face_weights(field, x, y, z, w);
+    const idx col[6] = {row - opts.nx * opts.ny, row - opts.nx, row - 1,
+                        row + 1, row + opts.nx, row + opts.nx * opts.ny};
+    // Same accumulation order as the dense assembly, so the diagonal is
+    // the identical double; columns interleave in ascending order around
+    // the diagonal (w[0..2] below it, w[3..5] above).
+    real diag = ground;
+    for (int k = 0; k < 6; ++k) diag += w[k];
+    for (int k = 0; k < 3; ++k) {
+      if (w[k] > 0.0) push_entry(slab, col[k], -w[k]);
+    }
+    push_entry(slab, row, diag);
+    for (int k = 3; k < 6; ++k) {
+      if (w[k] > 0.0) push_entry(slab, col[k], -w[k]);
+    }
+    slab.row_ptr[row - row_begin + 1] = static_cast<nnz_t>(slab.col_idx.size());
+  }
+  return slab;
+}
+
+}  // namespace ptilu::workloads

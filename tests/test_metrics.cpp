@@ -115,10 +115,9 @@ void expect_identities(sim::Machine& machine) {
         messages[static_cast<std::size_t>(r)] += cell.messages;
         bytes[static_cast<std::size_t>(r)] += cell.bytes;
       }
-      messages[static_cast<std::size_t>(r)] +=
-          pm.collective_messages[static_cast<std::size_t>(r)];
-      bytes[static_cast<std::size_t>(r)] +=
-          pm.collective_bytes[static_cast<std::size_t>(r)];
+      // Scalars since report v2: collectives charge every rank identically.
+      messages[static_cast<std::size_t>(r)] += pm.collective_messages;
+      bytes[static_cast<std::size_t>(r)] += pm.collective_bytes;
     }
   }
 
@@ -321,7 +320,7 @@ TEST(MetricsReport, ByteIdenticalAcrossBackends) {
       full_run_report(metrics_opts(sim::Backend::kThreads, 4));
   EXPECT_EQ(sequential, threaded);
   EXPECT_EQ(threaded, full_run_report(metrics_opts(sim::Backend::kThreads, 2)));
-  EXPECT_NE(sequential.find("\"schema\": \"ptilu-report-v1\""), std::string::npos);
+  EXPECT_NE(sequential.find("\"schema\": \"ptilu-report-v2\""), std::string::npos);
   EXPECT_NE(sequential.find("\"harness\": \"test_metrics\""), std::string::npos);
 }
 
