@@ -9,11 +9,12 @@
 // the raw samples) in a machine-readable JSON file:
 //
 //   {
-//     "schema": "ptilu-bench-wallclock-v2",
+//     "schema": "ptilu-bench-wallclock-v4",
 //     "quick": true,
 //     "repetitions": 5,
 //     "backend": "sequential",
 //     "threads": 0,
+//     "variant": "scalar",
 //     "benches": [
 //       {"name": "pilut_g0_p16", "workload": "G0", "kind": "factorization",
 //        "n": 9216, "nnz": 45824, "reps_s": [...],
@@ -34,28 +35,39 @@
 // checksums still must match, since both backends are bit-identical).
 //
 // With --report/--report-dir each simulated-parallel bench additionally
-// runs once, untimed, on a fresh metrics-enabled machine; the schema bumps
-// to v3 and each such bench carries "report_checksum", the FNV-1a 64 hash
-// of the metrics report's machine-derived payload. Equal checksums mean two
-// runs not only computed the same factors but distributed modeled time and
-// traffic across phases identically — check_bench_json.py flags the
-// mismatch case ("same result, different critical path") during compares.
-// Without these flags the output stays schema v2, byte-compatible with
-// earlier runs.
+// runs once, untimed, on a fresh metrics-enabled machine, and each such
+// bench carries "report_checksum", the FNV-1a 64 hash of the metrics
+// report's machine-derived payload. Equal checksums mean two runs not only
+// computed the same factors but distributed modeled time and traffic
+// across phases identically — check_bench_json.py flags the mismatch case
+// ("same result, different critical path") during compares.
+//
+// --variant=blocked switches the serial factorization benches and the
+// GMRES preconditioner application to the supernodal/blocked execution
+// path (ilut_blocked + the register-blocked panel trisolves); the
+// simulated-parallel benches always run the scalar kernels. The output
+// schema is ptilu-bench-wallclock-v4, which records "variant" at the top
+// level — check_bench_json.py refuses to compare scalar against blocked
+// runs unless --allow-variant-mismatch is passed (that is the interesting
+// comparison when measuring the blocked path's speedup; the checksums
+// legitimately differ because blocked dropping is block-wise).
 //
 // Flags: --quick (CI-sized problems, fewer reps), --smoke (tiny problems,
 // one rep — schema smoke test only), --reps=N, --json=PATH,
-// --report / --report-dir=DIR (see above),
+// --variant=<scalar|blocked>, --slack=S and --panel=W (blocked
+// amalgamation knobs), --report / --report-dir=DIR (see above),
 // --backend=<sequential|threads> and --threads=N (default from
 // PTILU_BACKEND / PTILU_THREADS; applies to the simulated-parallel benches).
 #include <algorithm>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "ptilu/ilu/ilut.hpp"
+#include "ptilu/ilu/ilut_blocked.hpp"
 #include "ptilu/krylov/gmres.hpp"
 #include "ptilu/krylov/preconditioner.hpp"
 #include "ptilu/support/table.hpp"
@@ -99,6 +111,20 @@ double factors_checksum(const IluFactors& factors) {
          static_cast<double>(factors.u.col_idx.size());
 }
 
+/// Blocked-factor analogue: fold every stored tile value (padding zeros
+/// contribute nothing) plus the structural nonzero count. Not comparable
+/// to the scalar checksum — block-wise dropping keeps different entries —
+/// which is exactly why compares across variants must be opted into.
+double factors_checksum(const BlockedFactors& factors) {
+  double sum = 0.0;
+  for (idx p = 0; p < factors.n_panels(); ++p) {
+    for (const real v : factors.lvals[p]) sum += v;
+    for (const real v : factors.uvals[p]) sum += v;
+    for (const real v : factors.diag[p]) sum += v;
+  }
+  return sum + static_cast<double>(factors.nnz());
+}
+
 /// Time `body` (which returns a checksum) `reps` times.
 BenchResult run_bench(const std::string& name, const TestMatrix& matrix,
                       const std::string& kind, int reps,
@@ -122,20 +148,22 @@ BenchResult run_bench(const std::string& name, const TestMatrix& matrix,
 }
 
 void write_json(const std::string& path, bool quick, int reps,
-                const sim::Machine::Options& machine_opts,
+                const sim::Machine::Options& machine_opts, const std::string& variant,
+                const BlockedIlutOptions& blocked_opts,
                 const std::vector<BenchResult>& results) {
-  // v3 only when a metrics report was collected: metrics-off output stays
-  // byte-compatible with earlier v2 runs.
-  bool any_report = false;
-  for (const BenchResult& r : results) any_report |= r.has_report;
   std::FILE* f = std::fopen(path.c_str(), "w");
   PTILU_CHECK(f != nullptr, "cannot open " << path << " for writing");
-  std::fprintf(f, "{\n  \"schema\": \"ptilu-bench-wallclock-v%d\",\n",
-               any_report ? 3 : 2);
+  std::fprintf(f, "{\n  \"schema\": \"ptilu-bench-wallclock-v4\",\n");
   std::fprintf(f, "  \"quick\": %s,\n  \"repetitions\": %d,\n", quick ? "true" : "false",
                reps);
-  std::fprintf(f, "  \"backend\": \"%s\",\n  \"threads\": %d,\n",
-               sim::backend_name(machine_opts.backend), machine_opts.threads);
+  std::fprintf(f, "  \"backend\": \"%s\",\n  \"threads\": %d,\n  \"variant\": \"%s\",\n",
+               sim::backend_name(machine_opts.backend), machine_opts.threads,
+               variant.c_str());
+  if (variant == "blocked") {
+    // Record the amalgamation knobs so the file is reproducible as-is.
+    std::fprintf(f, "  \"panel\": %d,\n  \"slack\": %.17g,\n",
+                 blocked_opts.panels.max_panel, blocked_opts.panels.slack);
+  }
   std::fprintf(f, "  \"benches\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
@@ -176,6 +204,15 @@ int main(int argc, char** argv) {
   const int reps =
       static_cast<int>(cli.get_int("reps", smoke ? 1 : (quick ? 3 : 5)));
   const std::string json_path = cli.get_string("json", "");
+  const std::string variant = cli.get_choice("variant", "scalar", {"scalar", "blocked"});
+  const bool blocked = variant == "blocked";
+  const BlockedIlutOptions blocked_opts{
+      .base = {.m = 10, .tau = 1e-4, .pivot_rel = 1e-12},
+      // Bench defaults are tuned on these operators (see the committed
+      // BENCH_wallclock.json); the library's PanelOptions defaults stay
+      // conservative.
+      .panels = {.max_panel = static_cast<int>(cli.get_int("panel", 8)),
+                 .slack = cli.get_double("slack", 3.0)}};
   const sim::Machine::Options machine_opts = bench::machine_options_from_cli(cli);
   bench::ReportWriter reporter(cli, "wallclock");
   cli.check_all_consumed();
@@ -203,17 +240,20 @@ int main(int argc, char** argv) {
   const IlutOptions serial_opts{.m = 10, .tau = 1e-4, .pivot_rel = 1e-12};
   const PilutOptions pilut_opts{.m = 10, .tau = 1e-4, .pivot_rel = 1e-12};
 
-  std::printf("bench_wallclock: reps=%d scale=%s backend=%s\n", reps,
+  std::printf("bench_wallclock: reps=%d scale=%s backend=%s variant=%s\n", reps,
               smoke ? "smoke" : (quick ? "quick" : "default"),
-              sim::backend_name(machine_opts.backend));
+              sim::backend_name(machine_opts.backend), variant.c_str());
   std::vector<BenchResult> results;
 
-  // --- Serial ILUT factorization.
+  // --- Serial ILUT factorization (scalar or supernodal/blocked kernels).
   for (const TestMatrix* matrix : {&g0, &torso}) {
     results.push_back(run_bench("ilut_" + matrix->name, *matrix, "factorization", reps,
                                 [&]() {
-                                  const IluFactors factors = ilut(matrix->a, serial_opts);
-                                  return factors_checksum(factors);
+                                  if (blocked) {
+                                    return factors_checksum(
+                                        ilut_blocked(matrix->a, blocked_opts));
+                                  }
+                                  return factors_checksum(ilut(matrix->a, serial_opts));
                                 }));
   }
 
@@ -245,19 +285,26 @@ int main(int argc, char** argv) {
   }
 
   // --- Preconditioned GMRES(20) solve (host-side triangular solves and
-  // matvecs; the factorization is setup here).
+  // matvecs; the factorization is setup here). The blocked variant applies
+  // the preconditioner through the register-blocked panel trisolves.
   {
-    const IluPreconditioner precond(ilut(g0.a, serial_opts));
+    std::unique_ptr<Preconditioner> precond;
+    if (blocked) {
+      precond = std::make_unique<BlockedIluPreconditioner>(ilut_blocked(g0.a, blocked_opts));
+    } else {
+      precond = std::make_unique<IluPreconditioner>(ilut(g0.a, serial_opts));
+    }
     const RealVec b = workloads::rhs_all_ones_solution(g0.a);
     results.push_back(run_bench("gmres_G0", g0, "solve", reps, [&]() {
       RealVec x(g0.a.n_rows, 0.0);
-      const GmresResult solve = gmres(g0.a, precond, b, x, {.restart = 20});
+      const GmresResult solve = gmres(g0.a, *precond, b, x, {.restart = 20});
       return solve.final_residual + static_cast<double>(solve.matvecs);
     }));
   }
 
   if (!json_path.empty()) {
-    write_json(json_path, quick || smoke, reps, machine_opts, results);
+    write_json(json_path, quick || smoke, reps, machine_opts, variant, blocked_opts,
+               results);
   }
   return 0;
 }

@@ -1,0 +1,78 @@
+// Register-blocked dense tile micro-kernels for the supernodal ILUT path.
+//
+// A panel of nb consecutive rows stores each factor column as a contiguous
+// nb-wide tile, so the two inner loops that dominate factorization and
+// triangular solves — "subtract multiplier times a U entry from the working
+// row" and "subtract a factor column times a solution entry from the
+// accumulator" — become the same operation: w[j] -= m[j] * s for j < nb.
+// The kernel is instantiated at the fixed widths the panel detector emits
+// (1, 2, 4, 8), each a straight-line loop with a compile-time trip count
+// over contiguous doubles, which the compiler auto-vectorizes; the runtime
+// dispatch below selects the instantiation once per call site. The generic
+// runtime-width fallback keeps arbitrary widths correct (it is never hit by
+// panels from detect_panels, which only produces power-of-two widths).
+// Throughput of each width is pinned by micro_kernels.cpp. See DESIGN.md §13.
+#pragma once
+
+#include "ptilu/support/types.hpp"
+
+namespace ptilu {
+
+/// w[j] -= m[j] * s for j in [0, NB) — the fused update both the blocked
+/// working-row elimination and the blocked trisolves reduce to.
+template <int NB>
+inline void tile_axpy(real* PTILU_RESTRICT w, const real* PTILU_RESTRICT m, real s) {
+  for (int j = 0; j < NB; ++j) w[j] -= m[j] * s;
+}
+
+/// Runtime-width dispatch to the fixed-width instantiations.
+inline void tile_axpy_any(int nb, real* PTILU_RESTRICT w, const real* PTILU_RESTRICT m,
+                          real s) {
+  switch (nb) {
+    case 8: tile_axpy<8>(w, m, s); return;
+    case 4: tile_axpy<4>(w, m, s); return;
+    case 2: tile_axpy<2>(w, m, s); return;
+    case 1: tile_axpy<1>(w, m, s); return;
+    default:
+      for (int j = 0; j < nb; ++j) w[j] -= m[j] * s;
+  }
+}
+
+/// Forward-substitute one nb-wide column tile against the unit-lower part
+/// of a panel's dense diagonal block: t[j] -= D[j][jp] * t[jp] for jp < j.
+/// `diag` is the row-major nb x nb diagonal block (strict lower = the
+/// intra-panel multipliers). Triangular, so the trip count shrinks with jp;
+/// still contiguous in j for each jp.
+template <int NB>
+inline void tile_trsv_lower(real* PTILU_RESTRICT t, const real* PTILU_RESTRICT diag) {
+  for (int jp = 0; jp < NB - 1; ++jp) {
+    const real s = t[jp];
+    if (s == 0.0) continue;
+    for (int j = jp + 1; j < NB; ++j) t[j] -= diag[j * NB + jp] * s;
+  }
+}
+
+inline void tile_trsv_lower_any(int nb, real* PTILU_RESTRICT t,
+                                const real* PTILU_RESTRICT diag) {
+  switch (nb) {
+    case 8: tile_trsv_lower<8>(t, diag); return;
+    case 4: tile_trsv_lower<4>(t, diag); return;
+    case 2: tile_trsv_lower<2>(t, diag); return;
+    case 1: return;  // width-1 diagonal block has no strict lower part
+    default:
+      for (int jp = 0; jp < nb - 1; ++jp) {
+        const real s = t[jp];
+        if (s == 0.0) continue;
+        for (int j = jp + 1; j < nb; ++j) t[j] -= diag[j * nb + jp] * s;
+      }
+  }
+}
+
+/// Squared Frobenius norm of an nb-wide tile — the block dropping criterion.
+inline real tile_frob2(int nb, const real* t) {
+  real acc = 0.0;
+  for (int j = 0; j < nb; ++j) acc += t[j] * t[j];
+  return acc;
+}
+
+}  // namespace ptilu

@@ -26,8 +26,12 @@ struct IlutOptions {
   real tau = 1e-4;
   /// Pivot guard: if |u_ii| < pivot_rel * ||a_i||_2 after factoring row i,
   /// the pivot is replaced by that floor (keeping its sign; a +floor for an
-  /// exact zero). 0 disables the guard, in which case an exactly zero pivot
-  /// throws ptilu::Error — the paper's algorithm has no recovery either.
+  /// exact zero), and the substitution is counted in
+  /// IlutStats::pivots_guarded (per rank under the parallel drivers, as
+  /// the "factor/pivots_guarded" metrics counter).
+  /// 0 disables the guard, in which case a zero or subnormal pivot throws
+  /// ptilu::Error — the paper's algorithm has no recovery either, and a
+  /// subnormal would overflow the reciprocal just as fatally.
   real pivot_rel = 0.0;
 };
 

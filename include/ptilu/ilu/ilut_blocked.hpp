@@ -1,0 +1,43 @@
+// Supernodal/blocked ILUT(m, t) — the register-blocked execution path.
+//
+// Rows are grouped into contiguous panels of (near-)identical sparsity
+// (supernodes.hpp) and factored jointly: every factor column a panel
+// touches is one dense nb-wide tile, the working-row update runs the
+// fixed-width tile kernels of block_kernels.hpp, and dropping is
+// block-wise — a tile survives when its Frobenius norm clears the panel's
+// relative threshold, and at most m tiles are kept per side per panel
+// (plus the always-kept dense diagonal block), mirroring the scalar
+// per-row ceiling of m entries per side. This is the scheme of "High
+// Performance Block Incomplete LU Factorization" (Bollhöfer et al.)
+// adapted to the repo's row-wise ILUT.
+//
+// The blocked path is numerically close to, but not bit-identical with,
+// the scalar ilut(): inside a panel no dropping is applied (the diagonal
+// block is dense, the standard supernodal relaxation), and block-wise
+// dropping keeps/discards whole tiles where the scalar rules act per
+// entry. The scalar path remains the pinned reference; this path is
+// validated by tolerance-based differential tests (fill within the same
+// ceiling, residual norms, preconditioned-GMRES iteration parity).
+// See DESIGN.md §13.
+#pragma once
+
+#include "ptilu/ilu/factors.hpp"
+#include "ptilu/ilu/ilut.hpp"
+#include "ptilu/ilu/supernodes.hpp"
+#include "ptilu/sparse/csr.hpp"
+
+namespace ptilu {
+
+struct BlockedIlutOptions {
+  IlutOptions base;     ///< m / tau / pivot_rel, as for the scalar path
+  PanelOptions panels;  ///< amalgamation width cap and fill slack
+};
+
+/// Factor A (square, natural order) with the blocked path. Throws on
+/// structural problems or an unguarded zero pivot, like ilut(). Stats use
+/// the same fields as the scalar path; rule-2 drops count the nonzero
+/// entries inside dropped tiles.
+BlockedFactors ilut_blocked(const Csr& a, const BlockedIlutOptions& opts,
+                            IlutStats* stats = nullptr);
+
+}  // namespace ptilu

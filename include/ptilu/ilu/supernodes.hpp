@@ -1,0 +1,38 @@
+// Relaxed supernode amalgamation for the blocked ILUT path.
+//
+// The blocked factorization processes a panel of consecutive rows jointly,
+// storing every factor column the panel touches as one dense nb-wide tile.
+// That only pays off when the rows' sparsity patterns (near-)coincide:
+// every column in the panel's pattern union is stored for every row, so
+// pattern mismatch becomes explicit zero padding. The detector below walks
+// the rows of A greedily and merges a row into the current panel while the
+// padding stays within a slack budget — the classic relaxed-supernode
+// scheme (Ashcraft/Grimes; Bollhöfer et al. use the same idea for block
+// ILU), with the slack knob trading kernel width against wasted arithmetic.
+#pragma once
+
+#include "ptilu/sparse/csr.hpp"
+#include "ptilu/support/types.hpp"
+
+namespace ptilu {
+
+struct PanelOptions {
+  /// Maximum panel width. Panels are always emitted at power-of-two widths
+  /// (1, 2, 4, 8, ...) so every panel runs a fixed-width tile kernel.
+  int max_panel = 4;
+  /// Padding slack: rows r0..r0+w-1 form a panel only while
+  ///   w * |union of their patterns| <= (1 + slack) * (sum of their lengths),
+  /// i.e. the dense tiles may carry at most `slack` times the useful entries
+  /// as padding. 0 demands identical patterns; larger values widen panels.
+  real slack = 1.5;
+};
+
+/// Partition [0, n) into contiguous panels. Returns the panel boundary
+/// array: panel p covers rows [out[p], out[p+1]), out.front() == 0,
+/// out.back() == a.n_rows, and every width out[p+1]-out[p] is a power of
+/// two <= max_panel. Patterns are taken from A with the diagonal added
+/// (the factorization keeps the diagonal structurally, so it is never
+/// padding).
+IdxVec detect_panels(const Csr& a, const PanelOptions& opts);
+
+}  // namespace ptilu

@@ -25,4 +25,16 @@ void ilu_apply(const IluFactors& factors, std::span<const real> b, std::span<rea
 void ilu_apply_permuted(const IluFactors& factors, const IdxVec& new_of,
                         std::span<const real> b, std::span<real> x);
 
+/// Blocked trisolves over supernodal factors: per panel, the external
+/// column tiles are gathered with the same register-blocked kernel the
+/// factorization uses, then the small dense diagonal block is solved in
+/// registers. Equivalent accumulation order to the CSR solves up to
+/// floating-point reassociation within a panel.
+void forward_solve(const BlockedFactors& f, std::span<const real> b, std::span<real> y);
+void backward_solve(const BlockedFactors& f, std::span<const real> y, std::span<real> x);
+
+/// x = U^{-1} L^{-1} b with blocked factors — the blocked preconditioner
+/// application.
+void ilu_apply(const BlockedFactors& f, std::span<const real> b, std::span<real> x);
+
 }  // namespace ptilu

@@ -2,9 +2,13 @@
 //
 // Flags look like --name=value (or --name value). Unknown flags are an
 // error so typos don't silently fall back to defaults mid-experiment.
+// --help (both spellings: bare or --help=true) prints the flag names the
+// harness actually consulted and exits 0, instead of tripping the
+// unknown-flag check.
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -39,12 +43,21 @@ class Cli {
   std::string get_choice(const std::string& name, const std::string& fallback,
                          const std::vector<std::string>& choices) const;
 
-  /// Call after all gets: throws if any provided flag was never consumed
-  /// (catches typos in flag names).
+  /// Generic help: lists every flag name queried so far (one per line).
+  /// Meaningful only after the harness has issued all its gets, which is
+  /// why check_all_consumed — not the constructor — handles --help.
+  std::string help_text() const;
+
+  /// Call after all gets. If --help was passed, prints help_text() and
+  /// exits 0 (by then every get has registered its flag name). Otherwise
+  /// throws if any provided flag was never consumed (catches typos in
+  /// flag names); bare flags are reported as the user typed them, without
+  /// the implied "=true".
   void check_all_consumed() const;
 
  private:
   std::map<std::string, std::string> values_;
+  std::set<std::string> bare_;  // flags passed without a value
   mutable std::map<std::string, bool> consumed_;
 };
 

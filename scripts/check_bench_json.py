@@ -3,7 +3,7 @@
 
 Two schema families are understood, dispatched on the file's "schema":
 
-  * ptilu-bench-wallclock-v1/v2/v3 — bench_wallclock output (host seconds);
+  * ptilu-bench-wallclock-v1/v2/v3/v4 — bench_wallclock output (host seconds);
   * ptilu-bench-scale-v1 — bench_scale output (modeled strong/weak scaling
     sweeps; see docs/SCALING.md).
 
@@ -18,18 +18,20 @@ wallclock-only — modeled scale numbers are deterministic, so two runs of
 the same binary are byte-identical and a speedup ratio is meaningless.
 
 bench_wallclock validation checks (stdlib only, no third-party dependencies):
-  * the file is valid JSON with "schema": "ptilu-bench-wallclock-v2" or
-    -v3 (v1 files, which predate the execution-backend field, still
-    validate);
+  * the file is valid JSON with "schema": "ptilu-bench-wallclock-v2",
+    -v3, or -v4 (v1 files, which predate the execution-backend field,
+    still validate);
   * top level carries a boolean "quick" and a positive int "repetitions";
     v2+ additionally records the execution backend ("sequential" or
-    "threads") and the worker-pool size ("threads", 0 = auto);
+    "threads") and the worker-pool size ("threads", 0 = auto); v4
+    additionally records the kernel "variant" ("scalar" or "blocked" —
+    the supernodal/register-blocked ILUT path);
   * "benches" is a non-empty list; every entry has a unique name, a
     workload, a kind in {factorization, solve}, positive n/nnz, a
     "reps_s" list of `repetitions` positive floats, and median/min/max
     consistent with the samples (median recomputed, min <= median <= max);
   * a numeric "checksum" (guards against dead-code-eliminated benches);
-  * v3 benches may carry "report_checksum", the 16-hex-digit FNV-1a hash
+  * v3+ benches may carry "report_checksum", the 16-hex-digit FNV-1a hash
     of the metrics report payload of an untimed observed rerun (written
     when bench_wallclock runs with --report/--report-dir).
 
@@ -53,12 +55,22 @@ code change under test. Pass --allow-backend-mismatch when that backend
 speedup is exactly what you mean to measure (checksums still must match —
 the backends are bit-identical by contract).
 
+Comparing runs from *different kernel variants* (scalar vs blocked, files
+before v4 default to "scalar") is likewise refused by default; pass
+--allow-variant-mismatch when the blocked path's speedup over scalar is
+the measurement you want. Unlike a backend mismatch, the blocked variant
+drops block-wise (Frobenius norm over register tiles), so its factors —
+and hence its checksums — legitimately differ from scalar: with
+--allow-variant-mismatch a checksum mismatch is reported as a note, not a
+failure.
+
 Exit status 0 on success, 1 on any violation.
 
 Usage:
   check_bench_json.py BENCH.json
   check_bench_json.py --compare OLD.json NEW.json [--require-speedup 1.3]
                       [--out MERGED.json] [--allow-backend-mismatch]
+                      [--allow-variant-mismatch]
 """
 
 import argparse
@@ -66,12 +78,16 @@ import json
 import sys
 
 SCHEMAS = {"ptilu-bench-wallclock-v1", "ptilu-bench-wallclock-v2",
-           "ptilu-bench-wallclock-v3"}
+           "ptilu-bench-wallclock-v3", "ptilu-bench-wallclock-v4"}
 SCALE_SCHEMA = "ptilu-bench-scale-v1"
-# v2 added the execution backend; v3 added optional per-bench report_checksum.
-SCHEMAS_WITH_BACKEND = {"ptilu-bench-wallclock-v2", "ptilu-bench-wallclock-v3"}
-SCHEMA_V3 = "ptilu-bench-wallclock-v3"
+# v2 added the execution backend; v3 added optional per-bench
+# report_checksum; v4 added the top-level kernel variant.
+SCHEMAS_WITH_BACKEND = {"ptilu-bench-wallclock-v2", "ptilu-bench-wallclock-v3",
+                        "ptilu-bench-wallclock-v4"}
+SCHEMAS_WITH_REPORT = {"ptilu-bench-wallclock-v3", "ptilu-bench-wallclock-v4"}
+SCHEMA_V4 = "ptilu-bench-wallclock-v4"
 BACKENDS = {"sequential", "threads"}
+VARIANTS = {"scalar", "blocked"}
 KINDS = {"factorization", "solve"}
 REL_EPS = 1e-9
 
@@ -185,6 +201,24 @@ def validate(doc, path, errors):
         threads = doc.get("threads")
         if not isinstance(threads, int) or threads < 0:
             errors.append(f"{path}: 'threads' must be a non-negative int")
+    if doc.get("schema") == SCHEMA_V4:
+        if doc.get("variant") not in VARIANTS:
+            errors.append(
+                f"{path}: 'variant' is {doc.get('variant')!r}, want one of "
+                f"{sorted(VARIANTS)}")
+        # Blocked runs record their amalgamation knobs for reproducibility.
+        if doc.get("variant") == "blocked":
+            if not isinstance(doc.get("panel"), int) or doc.get("panel") < 1:
+                errors.append(f"{path}: blocked runs need a positive int 'panel'")
+            slack = doc.get("slack")
+            if not isinstance(slack, (int, float)) or slack < 0:
+                errors.append(f"{path}: blocked runs need a non-negative 'slack'")
+        else:
+            for key in ("panel", "slack"):
+                if key in doc:
+                    errors.append(f"{path}: '{key}' only applies to blocked runs")
+    elif "variant" in doc:
+        errors.append(f"{path}: 'variant' requires schema v4")
     if not isinstance(doc.get("quick"), bool):
         errors.append(f"{path}: missing boolean 'quick'")
     reps = doc.get("repetitions")
@@ -219,8 +253,8 @@ def validate(doc, path, errors):
             errors.append(f"{where}: missing numeric checksum")
         report_checksum = bench.get("report_checksum")
         if report_checksum is not None:
-            if doc.get("schema") != SCHEMA_V3:
-                errors.append(f"{where}: report_checksum requires schema v3")
+            if doc.get("schema") not in SCHEMAS_WITH_REPORT:
+                errors.append(f"{where}: report_checksum requires schema v3+")
             elif (not isinstance(report_checksum, str) or len(report_checksum) != 16
                   or any(c not in "0123456789abcdef" for c in report_checksum)):
                 errors.append(
@@ -255,6 +289,17 @@ def compare(baseline, current, args, errors):
             f"{cur_backend!r}): the speedup would measure the backend, not the "
             f"change under test — pass --allow-backend-mismatch if that is intended")
         return
+    # Pre-v4 files predate the blocked kernels, when only scalar existed.
+    base_variant = baseline.get("variant", "scalar")
+    cur_variant = current.get("variant", "scalar")
+    variant_mismatch = base_variant != cur_variant
+    if variant_mismatch and not args.allow_variant_mismatch:
+        errors.append(
+            f"kernel variant mismatch (baseline {base_variant!r}, current "
+            f"{cur_variant!r}): the speedup would mix scalar and blocked kernels "
+            f"— pass --allow-variant-mismatch if measuring the blocked path's "
+            f"speedup is intended")
+        return
     base_by_name = {b["name"]: b for b in baseline["benches"]}
     rows = []
     for bench in current["benches"]:
@@ -265,10 +310,17 @@ def compare(baseline, current, args, errors):
             continue
         if abs(base["checksum"] - bench["checksum"]) > 1e-9 * max(
                 1.0, abs(base["checksum"])):
-            errors.append(
-                f"{name}: checksum mismatch (baseline {base['checksum']!r}, "
-                f"current {bench['checksum']!r}) — builds disagree numerically")
-            continue
+            if variant_mismatch:
+                # Blocked dropping is block-wise, so its factors (and hence
+                # checksums) legitimately differ from scalar's.
+                print(f"note: {name}: checksum differs (baseline "
+                      f"{base['checksum']!r}, current {bench['checksum']!r}) — "
+                      f"expected across kernel variants")
+            else:
+                errors.append(
+                    f"{name}: checksum mismatch (baseline {base['checksum']!r}, "
+                    f"current {bench['checksum']!r}) — builds disagree numerically")
+                continue
         base_report = base.get("report_checksum")
         cur_report = bench.get("report_checksum")
         if (base_report is not None and cur_report is not None
@@ -314,6 +366,10 @@ def main() -> int:
     parser.add_argument("--allow-backend-mismatch", action="store_true",
                         help="permit --compare across different execution backends "
                              "(e.g. to measure the threaded backend's speedup)")
+    parser.add_argument("--allow-variant-mismatch", action="store_true",
+                        help="permit --compare across different kernel variants "
+                             "(e.g. to measure the blocked path's speedup over "
+                             "scalar); checksum mismatches become notes")
     args = parser.parse_args()
 
     if args.compare and len(args.files) != 2:

@@ -4,19 +4,13 @@
 #include <cmath>
 
 #include "ptilu/ilu/factor_scratch.hpp"
+#include "ptilu/ilu/pivot.hpp"
 #include "ptilu/ilu/working_row.hpp"
 #include "ptilu/support/check.hpp"
 
 namespace ptilu {
 
 namespace {
-
-real guarded_pivot(real diag, real floor_abs, IlutStats* stats) {
-  if (std::abs(diag) >= floor_abs) return diag;
-  PTILU_CHECK(floor_abs > 0.0, "zero pivot encountered and pivot guard disabled");
-  if (stats != nullptr) ++stats->pivots_guarded;
-  return diag == 0.0 ? floor_abs : std::copysign(floor_abs, diag);
-}
 
 /// Materialize a final U row from its selected strictly-upper part: the
 /// diagonal slot is reserved up front and written first, so the row never
@@ -108,8 +102,8 @@ IluFactors ilut(const Csr& a, const IlutOptions& opts, IlutStats* stats) {
     select_largest(ustage, opts.m, tau_i, -1, scratch.kept);
     st->dropped_rule2 += before - (lstage.size() + ustage.size());
 
-    diag = guarded_pivot(diag, opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0, st);
-    PTILU_CHECK(diag != 0.0, "zero pivot at row " << i << " (enable pivot_rel to guard)");
+    diag = safeguard_pivot(i, diag, opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0,
+                           st->pivots_guarded);
     udiag[i] = diag;
     lrows[i].cols = lstage.cols;  // exact-sized copies of the survivors
     lrows[i].vals = lstage.vals;
@@ -225,8 +219,7 @@ IluFactors iluk(const Csr& a, idx level, IlutStats* stats) {
     PTILU_ASSERT(diag_it != cols.end() && *diag_it == i,
                  "diagonal missing from ILU(k) pattern at row " << i);
     const std::size_t nlower = static_cast<std::size_t>(diag_it - cols.begin());
-    const real diag = w.value(i);
-    PTILU_CHECK(diag != 0.0, "zero pivot at row " << i << " in ILU(" << level << ")");
+    const real diag = safeguard_pivot(i, w.value(i), 0.0, st->pivots_guarded);
     udiag[i] = diag;
     SparseRow& lrow = lrows[i];
     SparseRow& urow = urows[i];

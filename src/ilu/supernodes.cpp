@@ -1,0 +1,78 @@
+#include "ptilu/ilu/supernodes.hpp"
+
+#include <cstdint>
+
+#include "ptilu/support/check.hpp"
+
+namespace ptilu {
+
+namespace {
+
+/// Number of distinct columns in rows [r0, r0+w) of A, diagonals included.
+/// `stamp`/`epoch` implement the usual epoch-stamped membership test so the
+/// scan is O(entries scanned) with no clearing sweep.
+idx union_size(const Csr& a, idx r0, idx w, std::vector<std::uint32_t>& stamp,
+               std::uint32_t epoch) {
+  idx count = 0;
+  for (idx i = r0; i < r0 + w; ++i) {
+    if (stamp[i] != epoch) {  // structural diagonal
+      stamp[i] = epoch;
+      ++count;
+    }
+    for (nnz_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const idx c = a.col_idx[k];
+      if (stamp[c] != epoch) {
+        stamp[c] = epoch;
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+IdxVec detect_panels(const Csr& a, const PanelOptions& opts) {
+  PTILU_CHECK(a.n_rows == a.n_cols, "panel detection needs a square matrix");
+  PTILU_CHECK(opts.max_panel >= 1 && opts.slack >= 0.0, "invalid panel options");
+  const idx n = a.n_rows;
+
+  std::vector<std::uint32_t> stamp(n, 0);
+  std::uint32_t epoch = 0;
+
+  IdxVec starts;
+  starts.reserve(static_cast<std::size_t>(n) / 2 + 2);
+  starts.push_back(0);
+  idx r0 = 0;
+  while (r0 < n) {
+    // Try the widths largest-first: the widest panel whose padding fits the
+    // slack budget wins, so a run of identical-pattern rows always blocks at
+    // max_panel and an isolated irregular row falls through to width 1.
+    idx width = 1;
+    for (idx w = static_cast<idx>(opts.max_panel); w > 1; w /= 2) {
+      if (r0 + w > n) continue;
+      real entries = 0.0;
+      for (idx i = r0; i < r0 + w; ++i) {
+        // Count each row's pattern with its structural diagonal, mirroring
+        // what the factorization loads.
+        real len = static_cast<real>(a.row_ptr[i + 1] - a.row_ptr[i]);
+        bool has_diag = false;
+        for (nnz_t k = a.row_ptr[i]; k < a.row_ptr[i + 1] && !has_diag; ++k) {
+          has_diag = a.col_idx[k] == i;
+        }
+        entries += has_diag ? len : len + 1.0;
+      }
+      const idx u = union_size(a, r0, w, stamp, ++epoch);
+      if (static_cast<real>(w) * static_cast<real>(u) <=
+          (1.0 + opts.slack) * entries) {
+        width = w;
+        break;
+      }
+    }
+    r0 += width;
+    starts.push_back(r0);
+  }
+  return starts;
+}
+
+}  // namespace ptilu

@@ -1,5 +1,6 @@
 #include "ptilu/ilu/trisolve.hpp"
 
+#include "ptilu/ilu/block_kernels.hpp"
 #include "ptilu/support/check.hpp"
 
 namespace ptilu {
@@ -46,6 +47,62 @@ void ilu_apply_permuted(const IluFactors& factors, const IdxVec& new_of,
   for (idx i = 0; i < n; ++i) pb[new_of[i]] = b[i];
   ilu_apply(factors, pb, px);
   for (idx i = 0; i < n; ++i) x[i] = px[new_of[i]];
+}
+
+void forward_solve(const BlockedFactors& f, std::span<const real> b, std::span<real> y) {
+  PTILU_CHECK(b.size() == static_cast<std::size_t>(f.n) && y.size() == b.size(),
+              "forward_solve size mismatch");
+  real acc[64];  // panel accumulator; widths are capped far below this
+  for (idx p = 0; p < f.n_panels(); ++p) {
+    const idx r0 = f.panel_start[p];
+    const int nb = f.width(p);
+    PTILU_ASSERT(nb <= 64, "panel width exceeds the solve accumulator");
+    for (int j = 0; j < nb; ++j) acc[j] = b[r0 + j];
+    // External gather: acc -= tile(c) * y[c], the tile_axpy kernel again.
+    const IdxVec& cols = f.lcols[p];
+    const RealVec& vals = f.lvals[p];
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      tile_axpy_any(nb, acc, vals.data() + k * static_cast<std::size_t>(nb), y[cols[k]]);
+    }
+    // Intra-panel unit-lower substitution against the diagonal block.
+    const real* diag = f.diag[p].data();
+    for (int j = 0; j < nb; ++j) {
+      real v = acc[j];
+      for (int jp = 0; jp < j; ++jp) v -= diag[j * nb + jp] * acc[jp];
+      acc[j] = v;
+      y[r0 + j] = v;
+    }
+  }
+}
+
+void backward_solve(const BlockedFactors& f, std::span<const real> y, std::span<real> x) {
+  PTILU_CHECK(y.size() == static_cast<std::size_t>(f.n) && x.size() == y.size(),
+              "backward_solve size mismatch");
+  real acc[64];
+  for (idx p = f.n_panels() - 1; p >= 0; --p) {
+    const idx r0 = f.panel_start[p];
+    const int nb = f.width(p);
+    PTILU_ASSERT(nb <= 64, "panel width exceeds the solve accumulator");
+    for (int j = 0; j < nb; ++j) acc[j] = y[r0 + j];
+    const IdxVec& cols = f.ucols[p];
+    const RealVec& vals = f.uvals[p];
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      tile_axpy_any(nb, acc, vals.data() + k * static_cast<std::size_t>(nb), x[cols[k]]);
+    }
+    // Intra-panel back-substitution with the stored U diagonal block.
+    const real* diag = f.diag[p].data();
+    for (int j = nb - 1; j >= 0; --j) {
+      real v = acc[j];
+      for (int jj = j + 1; jj < nb; ++jj) v -= diag[j * nb + jj] * x[r0 + jj];
+      x[r0 + j] = v / diag[j * nb + j];
+    }
+  }
+}
+
+void ilu_apply(const BlockedFactors& f, std::span<const real> b, std::span<real> x) {
+  RealVec y(f.n);
+  forward_solve(f, b, y);
+  backward_solve(f, y, x);
 }
 
 }  // namespace ptilu

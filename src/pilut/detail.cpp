@@ -12,6 +12,7 @@ FactorCounters factor_counters(sim::Machine& machine) {
   if (counters.metrics != nullptr) {
     counters.fill = counters.metrics->counter_id("factor/fill");
     counters.dropped = counters.metrics->counter_id("factor/dropped");
+    counters.guarded = counters.metrics->counter_id("factor/pivots_guarded");
   }
   return counters;
 }
@@ -126,9 +127,9 @@ void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
       select_largest(lstage, opts.m, tau_i, -1, scratch.kept);
       select_largest(ustage, opts.m, tau_i, -1, scratch.kept);
       tally.dropped += staged - lstage.size() - ustage.size();
-      diag = guarded_pivot(i, diag,
-                           opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0,
-                           lane.pivots_guarded);
+      diag = safeguard_pivot(i, diag,
+                             opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0,
+                             tally.guarded);
       state.udiag[i] = diag;
       state.lrows[i].cols = lstage.cols;  // exact-sized survivor copies
       state.lrows[i].vals = lstage.vals;
@@ -137,6 +138,7 @@ void run_interior_phase(sim::Machine& machine, const DistCsr& dist,
       w.clear();
     }
     ctx.charge_flops(flops);
+    lane.pivots_guarded += tally.guarded;
     counters.commit(r, tally);
   }, "pilut/interior");
   stats.time_interior = machine.modeled_time();

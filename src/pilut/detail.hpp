@@ -6,6 +6,7 @@
 #include "ptilu/dist/distcsr.hpp"
 #include "ptilu/ilu/factor_scratch.hpp"
 #include "ptilu/ilu/factors.hpp"
+#include "ptilu/ilu/pivot.hpp"
 #include "ptilu/ilu/working_row.hpp"
 #include "ptilu/pilut/pilut.hpp"
 #include "ptilu/sim/metrics.hpp"
@@ -22,6 +23,7 @@ namespace ptilu::pilut_detail {
 struct FillDropTally {
   std::uint64_t fill = 0;
   std::uint64_t dropped = 0;
+  std::uint64_t guarded = 0;  ///< safeguarded pivot substitutions (pivot.hpp)
 };
 
 /// The per-rank fill/drop counter registration for a factorization driver
@@ -31,11 +33,13 @@ struct FactorCounters {
   sim::Metrics* metrics = nullptr;
   std::uint32_t fill = 0;
   std::uint32_t dropped = 0;
+  std::uint32_t guarded = 0;
 
   void commit(int rank, const FillDropTally& tally) const {
     if (metrics == nullptr) return;
     metrics->add_counter(fill, rank, tally.fill);
     metrics->add_counter(dropped, rank, tally.dropped);
+    metrics->add_counter(guarded, rank, tally.guarded);
   }
 };
 
@@ -150,15 +154,6 @@ void run_initial_reduction(sim::Machine& machine, const DistCsr& dist,
 
 /// Finalize stats fields from the machine counters.
 void finish_stats(const sim::Machine& machine, PilutStats& stats);
-
-inline real guarded_pivot(idx row, real diag, real floor_abs,
-                          std::uint64_t& pivots_guarded) {
-  if (std::abs(diag) >= floor_abs && diag != 0.0) return diag;
-  PTILU_CHECK(floor_abs > 0.0,
-              "zero pivot at row " << row << " (enable pivot_rel to guard)");
-  ++pivots_guarded;
-  return diag == 0.0 ? floor_abs : std::copysign(floor_abs, diag);
-}
 
 /// Renumber per-original-row factor rows into the new ordering and build
 /// the final CSR factors (L strictly lower sorted, U diag-first sorted).

@@ -17,7 +17,6 @@ constexpr int kTagUReq = 10;
 constexpr int kTagUCols = 11;
 constexpr int kTagUVals = 12;
 
-using pilut_detail::guarded_pivot;
 using pilut_detail::Lane;
 
 }  // namespace
@@ -91,7 +90,8 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
     return flops;
   };
 
-  const auto split_row = [&](Lane& lane, idx i, const auto& is_factored) {
+  const auto split_row = [&](Lane& lane, idx i, const auto& is_factored,
+                             pilut_detail::FillDropTally& tally) {
     WorkingRow& w = lane.w;
     SparseRow& lrow = lrows[i];
     SparseRow& upper = lane.scratch.ustage;  // pooled staging for the U part
@@ -106,8 +106,9 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
         upper.push(c, w.value(c));
       }
     }
-    diag = guarded_pivot(i, diag, opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0,
-                         lane.pivots_guarded);
+    diag = safeguard_pivot(i, diag,
+                           opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0,
+                           tally.guarded);
     udiag[i] = diag;
     pilut_detail::emit_urow(urows[i], i, diag, upper);
     w.clear();
@@ -133,9 +134,10 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
       }
       flops += factor_row(lane, i, factored_cols,
                           [&](idx k) -> const SparseRow& { return urows[k]; }, tally);
-      split_row(lane, i, [&](idx c) { return c < i && !dist.interface[c]; });
+      split_row(lane, i, [&](idx c) { return c < i && !dist.interface[c]; }, tally);
     }
     ctx.charge_flops(flops);
+    lane.pivots_guarded += tally.guarded;
     counters.commit(r, tally);
   }, "pilu0/interior");
   }
@@ -341,9 +343,10 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
         flops += factor_row(lane, i, factored_cols, urow_of, tally);
         split_row(lane, i, [&](idx c) {
           return !dist.interface[c] || factored_interface[c];
-        });
+        }, tally);
       }
       ctx.charge_flops(flops);
+      lane.pivots_guarded += tally.guarded;
       counters.commit(r, tally);
     }, "pilu0/factor_class");
     }

@@ -18,7 +18,6 @@ constexpr int kTagUCols = 11;
 constexpr int kTagUVals = 12;
 
 using pilut_detail::FactorState;
-using pilut_detail::guarded_pivot;
 using pilut_detail::Lane;
 
 /// Per-lane per-level working structures (see pilut_detail::Lane for the
@@ -249,15 +248,16 @@ PilutResult pilut_factor(sim::Machine& machine, const DistCsr& dist,
         const std::size_t u_before = ustage.size();
         select_largest(ustage, opts.m, tau_v, -1, scratch.kept);  // 2nd dropping rule
         tally.dropped += u_before - ustage.size();
-        diag = guarded_pivot(v, diag,
-                             opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[v] : 0.0,
-                             lane.pivots_guarded);
+        diag = safeguard_pivot(v, diag,
+                               opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[v] : 0.0,
+                               tally.guarded);
         state.udiag[v] = diag;
         pilut_detail::emit_urow(state.urows[v], v, diag, ustage);
         state.factored[v] = true;
         tail.clear();
       }
       ctx.charge_flops(flops);
+      lane.pivots_guarded += tally.guarded;
       counters.commit(r, tally);
     }, "pilut/factor_set");
     }

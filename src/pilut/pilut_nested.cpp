@@ -13,7 +13,6 @@ namespace ptilu {
 namespace {
 
 using pilut_detail::FactorState;
-using pilut_detail::guarded_pivot;
 using pilut_detail::Lane;
 
 /// Bytes moved when a reduced row migrates to a new host.
@@ -123,9 +122,9 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
         select_largest(lstage, opts.m, tau_i, -1, scratch.kept);
         select_largest(ustage, opts.m, tau_i, -1, scratch.kept);
         tally.dropped += staged - lstage.size() - ustage.size();
-        diag = guarded_pivot(i, diag,
-                             opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0,
-                             lane.pivots_guarded);
+        diag = safeguard_pivot(i, diag,
+                               opts.pivot_rel > 0.0 ? opts.pivot_rel * norms[i] : 0.0,
+                               tally.guarded);
         state.udiag[i] = diag;
         state.lrows[i].cols = lstage.cols;
         state.lrows[i].vals = lstage.vals;
@@ -181,6 +180,7 @@ PilutResult pilut_factor_nested(sim::Machine& machine, const DistCsr& dist,
       }
       ctx.charge_flops(flops);
       ctx.charge_mem(copied);
+      lane.pivots_guarded += tally.guarded;
       counters.commit(r, tally);
     }, "nested/stage");
   };

@@ -1,5 +1,6 @@
 #include "ptilu/support/cli.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
@@ -31,6 +32,7 @@ Cli::Cli(int argc, const char* const* argv) {
       values_[arg] = argv[++i];
     } else {
       values_[arg] = "true";  // bare boolean flag
+      bare_.insert(arg);
     }
   }
 }
@@ -109,9 +111,26 @@ std::string Cli::get_choice(const std::string& name, const std::string& fallback
   return fallback;
 }
 
+std::string Cli::help_text() const {
+  std::ostringstream out;
+  out << "flags (--name=value or --name value; see docs/REFERENCE.md):\n";
+  for (const auto& [name, queried] : consumed_) {
+    if (queried && name != "help") out << "  --" << name << "\n";
+  }
+  return out.str();
+}
+
 void Cli::check_all_consumed() const {
+  if (values_.contains("help")) {
+    std::fputs(help_text().c_str(), stdout);
+    std::exit(EXIT_SUCCESS);
+  }
   for (const auto& [name, value] : values_) {
-    PTILU_CHECK(consumed_.contains(name), "unknown flag --" << name << "=" << value);
+    if (bare_.contains(name)) {
+      PTILU_CHECK(consumed_.contains(name), "unknown flag --" << name);
+    } else {
+      PTILU_CHECK(consumed_.contains(name), "unknown flag --" << name << "=" << value);
+    }
   }
 }
 

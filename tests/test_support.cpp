@@ -128,6 +128,78 @@ TEST(Cli, RejectsMalformedInt) {
   EXPECT_THROW(cli.get_int("n", 0), Error);
 }
 
+// Every accessor must accept both --flag=value and --flag value and
+// produce the identical parse; a regression in either spelling breaks
+// scripted harness invocations.
+TEST(Cli, EveryAccessorParsesBothForms) {
+  const char* eq_argv[] = {"prog",         "--name=abc",  "--n=42",
+                           "--tau=1e-3",   "--flag=true", "--procs=4,8",
+                           "--taus=1,0.5", "--backend=threads"};
+  const char* sp_argv[] = {"prog",    "--name", "abc",     "--n",     "42",
+                           "--tau",   "1e-3",   "--flag",  "true",    "--procs",
+                           "4,8",     "--taus", "1,0.5",   "--backend", "threads"};
+  const Cli eq(8, eq_argv);
+  const Cli sp(15, sp_argv);
+  for (const Cli* cli : {&eq, &sp}) {
+    EXPECT_EQ(cli->get_string("name", ""), "abc");
+    EXPECT_EQ(cli->get_int("n", 0), 42);
+    EXPECT_DOUBLE_EQ(cli->get_double("tau", 0.0), 1e-3);
+    EXPECT_TRUE(cli->get_bool("flag", false));
+    const auto procs = cli->get_int_list("procs", {});
+    ASSERT_EQ(procs.size(), 2u);
+    EXPECT_EQ(procs[1], 8);
+    const auto taus = cli->get_double_list("taus", {});
+    ASSERT_EQ(taus.size(), 2u);
+    EXPECT_DOUBLE_EQ(taus[1], 0.5);
+    EXPECT_EQ(cli->get_choice("backend", "sequential", {"sequential", "threads"}),
+              "threads");
+    EXPECT_NO_THROW(cli->check_all_consumed());
+  }
+}
+
+TEST(Cli, GetChoiceRejectsUnknownSpelling) {
+  const char* argv[] = {"prog", "--backend=gpu"};
+  Cli cli(2, argv);
+  EXPECT_THROW(cli.get_choice("backend", "sequential", {"sequential", "threads"}),
+               Error);
+}
+
+TEST(Cli, HelpPrintsConsultedFlagsAndExitsZero) {
+  // Both spellings: a bare --help and an explicit --help=true.
+  for (const char* spelling : {"--help", "--help=true"}) {
+    const char* argv[] = {"prog", spelling};
+    Cli cli(2, argv);
+    cli.get_int("reps", 1);
+    cli.get_string("json", "");
+    // Death tests match stderr; help goes to stdout, so only the exit
+    // status is asserted here. help_text() content is covered below.
+    EXPECT_EXIT(cli.check_all_consumed(), testing::ExitedWithCode(0), "");
+  }
+}
+
+TEST(Cli, HelpTextListsOnlyQueriedFlags) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  cli.get_int("n", 0);
+  const std::string help = cli.help_text();
+  EXPECT_NE(help.find("--n"), std::string::npos);
+  EXPECT_EQ(help.find("--tau"), std::string::npos);
+}
+
+TEST(Cli, UnknownBareFlagErrorOmitsImpliedTrue) {
+  const char* argv[] = {"prog", "--oops"};
+  Cli cli(2, argv);
+  try {
+    cli.check_all_consumed();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--oops"), std::string::npos);
+    // The user never typed "=true"; the error must not invent it.
+    EXPECT_EQ(what.find("=true"), std::string::npos);
+  }
+}
+
 TEST(Table, AlignsColumns) {
   Table t({"name", "value"});
   t.row().cell("alpha").cell(1.5, 2);
