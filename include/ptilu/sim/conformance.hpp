@@ -177,7 +177,8 @@ class Conformance {
   int nranks_;
   std::size_t tail_;
   std::vector<std::string> sites_;  // id -> tag ("" = untagged)
-  std::unordered_map<std::string, std::uint32_t, SiteHash, std::equal_to<>> site_ids_;
+  std::unordered_map<std::string, std::uint32_t, SiteHash, std::equal_to<>>
+      site_ids_;  // interning only, never iterated
   mutable std::mutex site_mutex_;   // guards sites_/site_ids_ during deferred steps
   std::uint32_t step_site_ = 0;     // site of the superstep in progress
   std::uint64_t superstep_ = 0;     // index of the superstep in progress

@@ -182,14 +182,14 @@ class Metrics {
 
   int nranks_;
   std::vector<std::string> phase_names_;  // id -> full path ("" is the root)
-  std::unordered_map<std::string, std::uint32_t> phase_ids_;
+  std::unordered_map<std::string, std::uint32_t> phase_ids_;  // interning only, never iterated
   std::vector<std::uint32_t> phase_stack_;
   std::vector<PhaseMetrics> phases_;  // indexed by phase id
   std::uint32_t last_active_ = 0;     // phase to credit trailing residual to
   double last_horizon_ = 0.0;         // machine-relative horizon at last sync
 
   std::vector<std::string> counter_names_;
-  std::unordered_map<std::string, std::uint32_t> counter_ids_;
+  std::unordered_map<std::string, std::uint32_t> counter_ids_;  // interning only, never iterated
   std::vector<std::vector<std::uint64_t>> counter_values_;  // [id][rank]
 
   std::vector<RankCounters> banked_counters_;  // epochs closed by reset()

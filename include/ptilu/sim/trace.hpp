@@ -152,7 +152,7 @@ class Trace {
   TraceOptions options_;
   int nranks_ = 0;
   std::vector<std::string> phase_names_;  // id -> full path ("" is the root)
-  std::unordered_map<std::string, std::uint32_t> phase_ids_;
+  std::unordered_map<std::string, std::uint32_t> phase_ids_;  // interning only, never iterated
   std::vector<std::uint32_t> phase_stack_;
   std::vector<PhaseStats> stats_;  // indexed by phase id
   std::vector<Span> spans_;

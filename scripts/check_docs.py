@@ -21,6 +21,12 @@ Historical logs are exempt from both checks — CHANGES.md and ROADMAP.md
 record what *was* true, and ISSUE.md/PAPER.md/PAPERS.md/SNIPPETS.md are
 task/reference imports, not maintained documentation.
 
+Env-var check: the "## Environment variables" table in docs/REFERENCE.md
+must list exactly the PTILU_* variables the code actually reads — every
+`getenv("PTILU_...")` occurrence under src/, include/, bench/, examples/
+and tools/ needs a table row, and every table row needs a live getenv
+(tests/ is exempt: tests save/restore variables rather than consume them).
+
 Usage:
   check_docs.py [--repo DIR] [--expect-tests N]
 
@@ -69,6 +75,57 @@ def check_links(path, repo, errors):
                     f"{path.parent.relative_to(repo) or '.'})")
 
 
+GETENV_RE = re.compile(r'getenv\(\s*"(PTILU_[A-Z0-9_]+)"')
+ENV_ROW_RE = re.compile(r"^\|\s*`(PTILU_[A-Z0-9_]+)`")
+ENV_SOURCE_DIRS = ("src", "include", "bench", "examples", "tools")
+
+
+def documented_env_vars(reference, errors):
+    """PTILU_* rows of REFERENCE.md's '## Environment variables' table."""
+    documented = {}  # name -> lineno
+    in_section = False
+    for lineno, line in enumerate(
+            reference.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.startswith("## "):
+            in_section = line.strip() == "## Environment variables"
+            continue
+        if in_section:
+            match = ENV_ROW_RE.match(line)
+            if match:
+                documented.setdefault(match.group(1), lineno)
+    if not documented:
+        errors.append(f"{reference.name}: no '## Environment variables' table rows found")
+    return documented
+
+
+def check_env_vars(repo, errors):
+    reference = repo / "docs" / "REFERENCE.md"
+    if not reference.exists():
+        errors.append("docs/REFERENCE.md missing: env-var table cannot be checked")
+        return
+    documented = documented_env_vars(reference, errors)
+
+    used = {}  # name -> first "file:line"
+    for dirname in ENV_SOURCE_DIRS:
+        for path in sorted((repo / dirname).rglob("*")):
+            if path.suffix not in (".cpp", ".hpp", ".h"):
+                continue
+            for lineno, line in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), start=1):
+                for match in GETENV_RE.finditer(line):
+                    used.setdefault(match.group(1),
+                                    f"{path.relative_to(repo)}:{lineno}")
+
+    for name in sorted(set(used) - set(documented)):
+        errors.append(
+            f"{used[name]}: getenv(\"{name}\") has no row in docs/REFERENCE.md's "
+            f"'## Environment variables' table")
+    for name in sorted(set(documented) - set(used)):
+        errors.append(
+            f"docs/REFERENCE.md:{documented[name]}: documents `{name}` but no "
+            f"source under {'/'.join(ENV_SOURCE_DIRS)} reads it (stale row?)")
+
+
 def check_test_counts(files, repo, expect, errors):
     claims = []  # (path, lineno, count)
     for path in files:
@@ -110,13 +167,15 @@ def main() -> int:
     for path in files:
         check_links(path, repo, errors)
     check_test_counts(files, repo, args.expect_tests, errors)
+    check_env_vars(repo, errors)
 
     if errors:
         for error in errors:
             print(f"FAIL: {error}")
         print(f"{len(errors)} violation(s)")
         return 1
-    print(f"OK: {len(files)} documents, links resolve, test-count claims "
+    print(f"OK: {len(files)} documents, links resolve, env-var table is live, "
+          f"test-count claims "
           f"{'match ' + str(args.expect_tests) if args.expect_tests is not None else 'agree'}")
     return 0
 

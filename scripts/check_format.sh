@@ -3,8 +3,9 @@
 # without ever touching (or judging) untouched code, so the repo never needs
 # a bulk reformat. Skips gracefully (exit 0) when the tooling is missing.
 #
-# Usage: scripts/check_format.sh [BASE_REF]   (default: origin/main, falling
-#        back to HEAD~1)
+# Usage: scripts/check_format.sh [--all] [BASE_REF]
+#        default: diff-only vs origin/main (falling back to HEAD~1);
+#        --all dry-runs clang-format over every tracked C++ file instead.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,6 +14,21 @@ FORMAT_BIN="${CLANG_FORMAT:-clang-format}"
 if ! command -v "$FORMAT_BIN" >/dev/null 2>&1; then
   echo "check_format.sh: $FORMAT_BIN not found; skipping format check." >&2
   exit 0
+fi
+
+if [[ "${1:-}" == "--all" ]]; then
+  mapfile -t FILES < <(git ls-files '*.cpp' '*.hpp')
+  STATUS=0
+  for f in "${FILES[@]}"; do
+    if ! "$FORMAT_BIN" --dry-run --Werror "$f" >/dev/null 2>&1; then
+      echo "check_format.sh: $f deviates from .clang-format" >&2
+      STATUS=1
+    fi
+  done
+  if [[ $STATUS -eq 0 ]]; then
+    echo "check_format.sh: all ${#FILES[@]} tracked C++ files are clean."
+  fi
+  exit $STATUS
 fi
 
 # clang-format-diff.py ships with LLVM under various names; find one.

@@ -4,14 +4,16 @@
 # the script is safe to wire into environments without LLVM tooling.
 #
 # Usage:
-#   scripts/run_tidy.sh [--build-dir DIR] [--changed [BASE_REF]] [files...]
+#   scripts/run_tidy.sh [--build-dir DIR] [--all | --changed [BASE_REF]] [files...]
 #
 #   --build-dir DIR   build tree holding compile_commands.json (default:
 #                     first of build, build/release, build/asan-ubsan that
 #                     has one)
+#   --all             lint every tracked .cpp (whole-repo mode, used by the
+#                     tidy-all CI job)
 #   --changed [REF]   only lint .cpp files changed vs REF (default: origin/main,
-#                     falling back to HEAD~1)
-#   files...          explicit files to lint (overrides --changed)
+#                     falling back to HEAD~1). This is the default mode.
+#   files...          explicit files to lint (overrides --all/--changed)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,7 +25,7 @@ if ! command -v "$TIDY_BIN" >/dev/null 2>&1; then
 fi
 
 BUILD_DIR=""
-MODE="all"
+MODE="changed"
 BASE_REF=""
 FILES=()
 while [[ $# -gt 0 ]]; do
@@ -31,6 +33,10 @@ while [[ $# -gt 0 ]]; do
     --build-dir)
       BUILD_DIR="$2"
       shift 2
+      ;;
+    --all)
+      MODE="all"
+      shift
       ;;
     --changed)
       MODE="changed"
@@ -71,10 +77,11 @@ if [[ ${#FILES[@]} -eq 0 ]]; then
       fi
     fi
     mapfile -t FILES < <(git diff --name-only --diff-filter=d "$BASE_REF" -- \
-      'src/**/*.cpp' 'tests/*.cpp' 'bench/*.cpp' 'examples/*.cpp')
+      'src/**/*.cpp' 'tests/*.cpp' 'bench/*.cpp' 'examples/*.cpp' \
+      'tools/**/*.cpp')
   else
     mapfile -t FILES < <(git ls-files 'src/**/*.cpp' 'tests/*.cpp' 'bench/*.cpp' \
-      'examples/*.cpp')
+      'examples/*.cpp' 'tools/**/*.cpp')
   fi
 fi
 

@@ -107,6 +107,8 @@ void dist_spmv(sim::Machine& machine, const DistCsr& dist, const Halo& halo,
   // Superstep 2: receive ghosts, compute owned rows.
   machine.step([&](sim::RankContext& ctx) {
     const int r = ctx.rank();
+    // Keyed lookups only — never iterated, so hash order cannot leak into
+    // modeled output (determinism-unordered-iter would flag traversal).
     std::unordered_map<idx, real> ghost;
     RealVec values;
     for (const sim::Message& msg : ctx.recv_all()) {

@@ -249,6 +249,8 @@ PilutResult pilu0_factor(sim::Machine& machine, const DistCsr& dist,
     // Exchange the remote U rows this class's eliminations need: row i in
     // the class references factored interface columns (pattern-static, so
     // requests are known a priori).
+    // Keyed lookups only — never iterated, so hash order cannot leak into
+    // modeled output.
     std::vector<std::unordered_map<idx, SparseRow>> remote_urows(nranks);
     {
     sim::ScopedPhase span(machine, "exchange");

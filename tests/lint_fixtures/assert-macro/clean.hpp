@@ -1,0 +1,15 @@
+// Fixture: the project macros, static_assert, and mentions of assert that
+// are not invocations.
+#pragma once
+
+#include "ptilu/support/check.hpp"
+
+inline int clean(int n) {
+  static_assert(sizeof(int) >= 2, "static_assert is a different token");
+  PTILU_CHECK(n > 0, "n must be positive, got " << n);
+  PTILU_ASSERT(n < 1000, "internal invariant");
+  // A comment saying assert(x) is fine, as is the string below.
+  const char* doc = "never write assert(x) in library code";
+  (void)doc;
+  return n - 1;
+}

@@ -1,0 +1,11 @@
+// Fixture: a justified raw assert (e.g. third-party macro compatibility).
+#pragma once
+
+#include <cassert>
+
+inline int suppressed(int n) {
+  // ptilu-lint: allow(assert-macro)
+  assert(n > 0);
+  assert(n < 1000);  // ptilu-lint: allow(assert-macro)
+  return n - 1;
+}

@@ -1,0 +1,9 @@
+// Fixture: raw assert() in a public header.
+#pragma once
+
+#include <cassert>
+
+inline int violating(int n) {
+  assert(n > 0);
+  return n - 1;
+}

@@ -1,0 +1,24 @@
+// Fixture: deterministic randomness and *mentions* of banned names that a
+// comment/string-aware lexer must not confuse with calls.
+#include <cstdint>
+#include <string>
+
+std::uint64_t mix64_like(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return z ^ (z >> 31);
+}
+
+std::string clean(std::uint64_t seed) {
+  // rand() and now() in a comment are not calls; neither is "time(" below.
+  const std::string doc = "never call rand(), time(nullptr), or now() here";
+  const std::string raw = R"(raw strings hide std::random_device and clock())";
+  std::uint64_t key = mix64_like(seed);
+  // Member fields/calls named like banned functions are fine: obj.time is
+  // a member access, and elapsed_time( / now_superstep( are other tokens.
+  struct Span {
+    double time = 0.0;
+  };
+  Span span;
+  span.time = static_cast<double>(key % 7);
+  return doc + raw + std::to_string(span.time);
+}

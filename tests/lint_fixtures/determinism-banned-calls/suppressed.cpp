@@ -1,0 +1,11 @@
+// Fixture: the timing-utility exemption, spelled as a suppression.
+#include <chrono>
+
+double suppressed() {
+  using Clock = std::chrono::steady_clock;
+  // Wall timing is this helper's entire purpose (cf. support/timer.hpp).
+  // ptilu-lint: allow(determinism-banned-calls)
+  const auto t0 = Clock::now();
+  const auto t1 = Clock::now();  // ptilu-lint: allow(determinism-banned-calls)
+  return std::chrono::duration<double>(t1 - t0).count();
+}

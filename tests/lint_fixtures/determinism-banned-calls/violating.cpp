@@ -1,0 +1,15 @@
+// Fixture: nondeterministic sources and wall-clock reads in library code.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double violating() {
+  std::random_device entropy;
+  std::srand(entropy());
+  double sum = static_cast<double>(std::rand());
+  sum += static_cast<double>(std::time(nullptr));
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  return sum;
+}

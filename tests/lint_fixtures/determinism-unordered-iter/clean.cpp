@@ -1,0 +1,24 @@
+// Fixture: keyed lookup into unordered containers is fine; only traversal
+// leaks hash order. Range-for over ordered containers is also fine.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+double clean(const std::vector<int>& keys) {
+  std::unordered_map<int, double> ghost;
+  for (const int key : keys) {  // vector traversal: deterministic
+    ghost.emplace(key, 1.0);
+  }
+  double sum = 0.0;
+  for (const int key : keys) {
+    const auto it = ghost.find(key);
+    if (it != ghost.end()) sum += it->second;
+    sum += ghost.at(key);
+    sum += ghost[key];
+  }
+  std::map<int, double> sorted;
+  for (const int key : keys) sorted.emplace(key, ghost.at(key));
+  // A comment mentioning "for (x : ghost)" must not trip the rule.
+  for (const auto& [key, value] : sorted) sum += value;  // ordered: fine
+  return sum;
+}

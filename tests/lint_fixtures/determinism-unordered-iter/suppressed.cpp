@@ -1,0 +1,18 @@
+// Fixture: justified traversal carries a suppression.
+#include <unordered_map>
+
+double suppressed() {
+  std::unordered_map<int, double> ghost;
+  ghost[1] = 2.0;
+  double sum = 0.0;
+  // Order cannot escape: plus-reduction is commutative over exact doubles
+  // with one element per key.
+  // ptilu-lint: allow(determinism-unordered-iter)
+  for (const auto& [key, value] : ghost) {
+    sum += value;
+  }
+  for (const auto& [key, value] : ghost) {  // ptilu-lint: allow(determinism-unordered-iter)
+    sum -= value;
+  }
+  return sum;
+}

@@ -1,0 +1,19 @@
+// Fixture: traversing unordered containers in a modeled path.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+void violating() {
+  std::unordered_map<int, double> ghost;
+  ghost[3] = 1.0;
+  double sum = 0.0;
+  for (const auto& [key, value] : ghost) {  // hash-order traversal
+    sum += value;
+  }
+
+  std::vector<std::unordered_set<int>> seen(4);
+  for (auto it = seen[0].begin(); it != seen[0].end(); ++it) {
+    sum += static_cast<double>(*it);
+  }
+  (void)sum;
+}

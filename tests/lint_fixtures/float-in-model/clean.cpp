@@ -1,0 +1,21 @@
+// Fixture: double/integer modeled state; the word float appears only in
+// comments and strings ("no float drift"), which must not trip the rule.
+#include <cstdint>
+
+namespace fixture {
+
+struct Clocks {
+  double elapsed = 0.0;         // modeled seconds, bit-exact identities
+  std::uint64_t supersteps = 0;
+};
+
+inline double advance(Clocks& clocks, double dt) {
+  // The busy <= elapsed identity holds with no float drift.
+  clocks.elapsed += dt;
+  clocks.supersteps += 1;
+  const char* doc = "float is banned here";
+  (void)doc;
+  return clocks.elapsed;
+}
+
+}  // namespace fixture

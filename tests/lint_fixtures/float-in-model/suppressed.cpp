@@ -1,0 +1,15 @@
+// Fixture: a justified float (e.g. a compact export format that never
+// feeds back into modeled state).
+namespace fixture {
+
+struct CompactSample {
+  // Export-only field; truncation cannot re-enter the modeled clocks.
+  // ptilu-lint: allow(float-in-model)
+  float exported = 0.0F;
+};
+
+inline void store(CompactSample& sample, double value) {
+  sample.exported = static_cast<float>(value);  // ptilu-lint: allow(float-in-model)
+}
+
+}  // namespace fixture

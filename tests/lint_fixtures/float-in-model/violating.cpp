@@ -1,0 +1,13 @@
+// Fixture: float arithmetic in a simulator modeled path.
+namespace fixture {
+
+struct Clocks {
+  float elapsed = 0.0F;  // modeled time must be double
+};
+
+inline double advance(Clocks& clocks, double dt) {
+  clocks.elapsed += static_cast<float>(dt);
+  return static_cast<double>(clocks.elapsed);
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: tagged collectives, plus declarations that must not count as
+// call sites (Machine::allreduce_sum's own definition has no tag literal).
+#include "ptilu/sim/machine.hpp"
+
+namespace fake {
+// A *definition* whose parameter list has no string literal: not a call.
+double allreduce_sum(const int& value_of_rank, const char* site);
+double allreduce_sum(const int& value_of_rank, const char* site) {
+  return static_cast<double>(value_of_rank) + (site != nullptr ? 1.0 : 0.0);
+}
+}  // namespace fake
+
+void clean(ptilu::sim::Machine& machine, int nranks) {
+  machine.collective(static_cast<std::uint64_t>(nranks) * sizeof(int),
+                     "fixture/number");
+  const double total =
+      machine.allreduce_sum([](int rank) { return 1.0 * rank; }, "fixture/total");
+  machine.step([&](ptilu::sim::RankContext& ctx) {
+    ctx.declare_collective(ptilu::sim::CollectiveOp::kUser, 8, "fixture/user");
+  });
+  (void)total;
+}

@@ -1,0 +1,9 @@
+// Fixture: an untagged collective behind an explicit justification.
+#include "ptilu/sim/machine.hpp"
+
+void suppressed(ptilu::sim::Machine& machine, int nranks) {
+  // Tag deliberately omitted: this fixture exercises the suppression path.
+  // ptilu-lint: allow(spmd-collective-tag)
+  machine.collective(static_cast<std::uint64_t>(nranks) * sizeof(int));
+  machine.collective(8);  // ptilu-lint: allow(spmd-collective-tag)
+}

@@ -1,0 +1,13 @@
+// Fixture: collectives without call-site tags. Conformance reports can
+// only name both halves of a divergent collective when every call site
+// carries a tag literal.
+#include "ptilu/sim/machine.hpp"
+
+void violating(ptilu::sim::Machine& machine, int nranks) {
+  machine.collective(static_cast<std::uint64_t>(nranks) * sizeof(int));
+  const double total = machine.allreduce_sum([](int rank) { return 1.0 * rank; });
+  machine.step([&](ptilu::sim::RankContext& ctx) {
+    ctx.declare_collective(ptilu::sim::CollectiveOp::kUser, 8);
+  });
+  (void)total;
+}

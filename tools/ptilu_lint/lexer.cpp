@@ -1,0 +1,298 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace ptilu::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Scan a comment's text for `ptilu-lint: allow(rule[, rule...])` and add
+/// the named rules to every line in [first_line, last_line + 1] — the
+/// comment's own span plus the line below it, so an annotation can sit at
+/// the end of the offending line or on the line above it.
+void harvest_suppressions(const std::string& comment, int first_line, int last_line,
+                          std::map<int, std::set<std::string>>& allowed) {
+  const std::string kMarker = "ptilu-lint:";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kMarker, pos)) != std::string::npos) {
+    std::size_t p = pos + kMarker.size();
+    while (p < comment.size() && comment[p] == ' ') ++p;
+    const std::string kAllow = "allow(";
+    if (comment.compare(p, kAllow.size(), kAllow) != 0) {
+      pos = p;
+      continue;
+    }
+    p += kAllow.size();
+    const std::size_t close = comment.find(')', p);
+    if (close == std::string::npos) return;
+    // Split the rule list on commas/whitespace.
+    std::string name;
+    for (std::size_t i = p; i <= close; ++i) {
+      const char c = i == close ? ',' : comment[i];
+      if (c == ',' || c == ' ' || c == '\t') {
+        if (!name.empty()) {
+          for (int line = first_line; line <= last_line + 1; ++line) {
+            allowed[line].insert(name);
+          }
+          name.clear();
+        }
+      } else {
+        name.push_back(c);
+      }
+    }
+    pos = close + 1;
+  }
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  LexedSource run() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        advance();
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        advance();
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (at_line_start_ && c == '#') {
+        preprocessor_line();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == 'R' && peek(1) == '"') {
+        raw_string();
+        continue;
+      }
+      // Encoding prefixes on ordinary strings/chars (u8"", L'', ...).
+      if (ident_start(c)) {
+        identifier_or_prefixed_literal();
+        continue;
+      }
+      if (digit(c) || (c == '.' && digit(peek(1)))) {
+        number();
+        continue;
+      }
+      if (c == '"') {
+        quoted(TokKind::kString, '"');
+        continue;
+      }
+      if (c == '\'') {
+        quoted(TokKind::kChar, '\'');
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  void advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void emit(TokKind kind, std::size_t begin, int line, int col) {
+    out_.tokens.push_back(Token{kind, text_.substr(begin, pos_ - begin), line, col});
+  }
+
+  void line_comment() {
+    const int first = line_;
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '\n') advance();
+    harvest_suppressions(text_.substr(begin, pos_ - begin), first, first, out_.allowed);
+  }
+
+  void block_comment() {
+    const int first = line_;
+    const std::size_t begin = pos_;
+    advance();  // '/'
+    advance();  // '*'
+    while (pos_ < text_.size() && !(text_[pos_] == '*' && peek(1) == '/')) advance();
+    if (pos_ < text_.size()) {
+      advance();
+      advance();
+    }
+    harvest_suppressions(text_.substr(begin, pos_ - begin), first, line_, out_.allowed);
+  }
+
+  /// Skip a whole preprocessor directive (honoring backslash
+  /// continuations). Directive bodies are not lintable code, and the `<>`
+  /// of #include would confuse template-bracket matching. A trailing //
+  /// comment is still harvested so suppressions work on directive lines.
+  void preprocessor_line() {
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '/' && peek(1) == '/') {
+        line_comment();
+        break;
+      }
+      if (text_[pos_] == '\n') {
+        // A continuation keeps the directive going on the next line.
+        if (pos_ > 0 && text_[pos_ - 1] == '\\') {
+          advance();
+          continue;
+        }
+        break;
+      }
+      advance();
+    }
+    at_line_start_ = true;
+  }
+
+  void raw_string() {
+    const int line = line_, col = col_;
+    const std::size_t begin = pos_;
+    advance();  // 'R'
+    consume_raw_string_body();
+    emit(TokKind::kString, begin, line, col);
+  }
+
+  /// Consume `"delim( ... )delim"` with pos_ at the opening quote.
+  void consume_raw_string_body() {
+    advance();  // '"'
+    std::string delim;
+    while (pos_ < text_.size() && text_[pos_] != '(') {
+      delim.push_back(text_[pos_]);
+      advance();
+    }
+    const std::string close = ")" + delim + "\"";
+    while (pos_ < text_.size() && text_.compare(pos_, close.size(), close) != 0) {
+      advance();
+    }
+    for (std::size_t i = 0; i < close.size() && pos_ < text_.size(); ++i) advance();
+  }
+
+  void identifier_or_prefixed_literal() {
+    const int line = line_, col = col_;
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size() && ident_char(text_[pos_])) advance();
+    const std::string word = text_.substr(begin, pos_ - begin);
+    // Encoding/raw prefixes: u8R"(...)", LR"(...)", u8"...", L'x', ...
+    if (pos_ < text_.size() && text_[pos_] == '"' &&
+        (word == "u8" || word == "u" || word == "U" || word == "L")) {
+      consume_quoted('"');
+      emit(TokKind::kString, begin, line, col);
+      return;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '"' &&
+        (word == "u8R" || word == "uR" || word == "UR" || word == "LR" || word == "R")) {
+      consume_raw_string_body();
+      emit(TokKind::kString, begin, line, col);
+      return;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '\'' &&
+        (word == "u8" || word == "u" || word == "U" || word == "L")) {
+      consume_quoted('\'');
+      emit(TokKind::kChar, begin, line, col);
+      return;
+    }
+    emit(TokKind::kIdent, begin, line, col);
+  }
+
+  void number() {
+    const int line = line_, col = col_;
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (ident_char(c) || c == '.') {
+        advance();
+        continue;
+      }
+      // Digit separator 1'000'000.
+      if (c == '\'' && ident_char(peek(1))) {
+        advance();
+        advance();
+        continue;
+      }
+      // Exponent signs: 1e-5, 0x1.0p-53.
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = text_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          advance();
+          continue;
+        }
+      }
+      break;
+    }
+    emit(TokKind::kNumber, begin, line, col);
+  }
+
+  void quoted(TokKind kind, char quote) {
+    const int line = line_, col = col_;
+    const std::size_t begin = pos_;
+    consume_quoted(quote);
+    emit(kind, begin, line, col);
+  }
+
+  void consume_quoted(char quote) {
+    advance();  // opening quote
+    while (pos_ < text_.size() && text_[pos_] != quote && text_[pos_] != '\n') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) advance();
+      advance();
+    }
+    if (pos_ < text_.size() && text_[pos_] == quote) advance();
+  }
+
+  void punct() {
+    const int line = line_, col = col_;
+    const std::size_t begin = pos_;
+    const char c = text_[pos_];
+    advance();
+    // Fuse the two tokens rules need to recognize as units.
+    if ((c == ':' && pos_ < text_.size() && text_[pos_] == ':') ||
+        (c == '-' && pos_ < text_.size() && text_[pos_] == '>')) {
+      advance();
+    }
+    emit(TokKind::kPunct, begin, line, col);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool at_line_start_ = true;
+  LexedSource out_;
+};
+
+}  // namespace
+
+LexedSource lex(const std::string& text) { return Lexer(text).run(); }
+
+bool is_allowed(const std::map<int, std::set<std::string>>& allowed,
+                const std::string& rule, int line) {
+  const auto it = allowed.find(line);
+  return it != allowed.end() && it->second.count(rule) > 0;
+}
+
+}  // namespace ptilu::lint

@@ -1,0 +1,61 @@
+// Comment/string/raw-string aware C++ tokenizer for ptilu-lint.
+//
+// This is deliberately *not* a C++ parser: the lint rules (lint.hpp) are
+// lexical project invariants, so all they need is a faithful token stream
+// in which comments, string literals, char literals, raw strings, and
+// preprocessor directives can never masquerade as code. The lexer also
+// extracts `// ptilu-lint: allow(<rule>[, <rule>...])` suppression
+// annotations from comments, keyed by source line, so rules can honor
+// same-line and line-above suppressions without re-scanning text.
+//
+// Token granularity: identifiers (keywords are not distinguished — rules
+// match on spelling), numeric literals (including hex floats and digit
+// separators), string/char literals, and punctuation. Punctuation is
+// emitted one character at a time except `::` and `->`, which are fused so
+// rules can tell qualified names (`std::time`) and member accesses
+// (`ctx->recv_all`) from unrelated single-char operators without peeking
+// at neighbor pairs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ptilu::lint {
+
+enum class TokKind : std::uint8_t {
+  kIdent = 0,   ///< identifier or keyword
+  kNumber = 1,  ///< numeric literal (ints, floats, hex floats, separators)
+  kString = 2,  ///< string literal, including raw strings (text = full lexeme)
+  kChar = 3,    ///< character literal
+  kPunct = 4,   ///< punctuation; one char, or the fused "::" / "->"
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;  ///< exact source spelling (strings keep their quotes)
+  int line = 0;      ///< 1-based source line of the first character
+  int col = 0;       ///< 1-based source column of the first character
+};
+
+/// A lexed translation unit: the token stream plus the suppression map.
+struct LexedSource {
+  std::vector<Token> tokens;
+  /// line -> rule names allowed on that line. A comment's suppressions are
+  /// recorded on every line the comment spans *and* the following line, so
+  /// both trailing (`code;  // ptilu-lint: allow(r)`) and preceding-line
+  /// annotations work.
+  std::map<int, std::set<std::string>> allowed;
+};
+
+/// Tokenize C++ source text. Never fails: malformed trailing constructs
+/// (an unterminated string or comment) simply end the stream.
+LexedSource lex(const std::string& text);
+
+/// True when `allowed` (from LexedSource) suppresses `rule` at `line`.
+bool is_allowed(const std::map<int, std::set<std::string>>& allowed,
+                const std::string& rule, int line);
+
+}  // namespace ptilu::lint

@@ -1,0 +1,100 @@
+// ptilu-lint: project-invariant static analysis for the ptilu repository.
+//
+// The repository's headline guarantees are *bit-compatibility* guarantees:
+// the threaded backend is bit-identical to the sequential one, checked and
+// metrics builds are bit-identical to plain ones, and the bench checksums
+// are pinned across PRs. Those guarantees are enforced at runtime by
+// differential tests and the SPMD conformance checker — but nothing stopped
+// a contributor from *writing* the code patterns that break them. This tool
+// closes that gap at lint time: it lexes the sources (comment/string/raw-
+// string aware, see lexer.hpp) and enforces the textual conventions
+// docs/STATIC_ANALYSIS.md documents in prose, as named rules.
+//
+// Rules (scope in brackets; see docs/STATIC_ANALYSIS.md §4 for the full
+// rationale of each):
+//
+//   determinism-unordered-iter  [src/]  Range-for or .begin() traversal of
+//       a std::unordered_{map,set} local. Hash-map iteration order is
+//       implementation-defined; feeding it into modeled time, counters, or
+//       message contents silently breaks bit-compatibility. Keyed lookup
+//       (find/at/operator[]/emplace) is fine and unflagged.
+//   determinism-banned-calls    [src/, include/]  rand/srand/random_device
+//       (nondeterministic seeds), time/clock/gettimeofday/now (wall clock
+//       observable by modeled paths). Timing belongs in bench/ harness code
+//       or behind an annotated suppression (support/timer.hpp).
+//   spmd-collective-tag         [src/ minus src/sim/]  Every allreduce_*,
+//       Machine::collective, or RankContext::declare_collective call must
+//       carry a call-site tag string literal, so conformance-violation
+//       reports can name both sides of a divergent collective.
+//   spmd-phase-coverage         [src/ minus src/sim/]  send_* / recv_all
+//       call sites must be lexically inside a live sim::ScopedPhase scope,
+//       so traces and metrics attribute every message to an algorithm
+//       phase. Helpers invoked from phased scopes carry a suppression
+//       explaining the indirection.
+//   assert-macro                [src/, include/]  Raw assert() is banned:
+//       PTILU_ASSERT (debug invariants) / PTILU_CHECK (always-on argument
+//       validation) throw ptilu::Error with location info and are
+//       registered as assert macros with clang-tidy.
+//   float-in-model              [src/sim/, include/ptilu/sim/]  The `float`
+//       type is banned in the simulator: modeled time and derived metrics
+//       are double-precision identities (busy ≤ elapsed bit-exactly);
+//       a single float round-trip breaks them.
+//
+// Suppressions: `// ptilu-lint: allow(<rule>[, <rule>...])` on the
+// offending line or the line above (block comments work too). Suppressed
+// findings are still reported (and counted) but do not fail the run.
+//
+// The tool is self-contained: no LLVM, no dependency on the ptilu library.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace ptilu::lint {
+
+struct Finding {
+  std::string rule;     ///< rule name (see kRuleNames)
+  std::string file;     ///< repo-relative path with forward slashes
+  int line = 0;         ///< 1-based
+  int col = 0;          ///< 1-based
+  std::string message;  ///< one-line diagnosis
+  bool suppressed = false;  ///< true when a ptilu-lint: allow(...) covers it
+};
+
+/// All rule names, in report order.
+const std::vector<std::string>& rule_names();
+
+/// True if `rule` is a known rule name.
+bool known_rule(const std::string& rule);
+
+/// Lint one source text. `path` is the repo-relative path (forward
+/// slashes); it selects which rules apply (see the scope table above) —
+/// the file does not need to exist on disk.
+std::vector<Finding> lint_source(const std::string& path, const std::string& text);
+
+/// Result of linting a tree or an explicit file list.
+struct Report {
+  std::vector<Finding> findings;         ///< sorted by (file, line, col, rule)
+  std::vector<std::string> files;        ///< repo-relative paths scanned
+};
+
+/// Lint every .cpp/.hpp under `root`'s src/ and include/ trees (the union
+/// of all rule scopes).
+Report lint_tree(const std::filesystem::path& root);
+
+/// Lint an explicit list of files; paths are interpreted relative to
+/// `root` for rule scoping. Throws std::runtime_error on unreadable files.
+Report lint_files(const std::filesystem::path& root,
+                  const std::vector<std::string>& files);
+
+/// Number of findings not covered by a suppression.
+std::size_t unsuppressed_count(const std::vector<Finding>& findings);
+
+/// Render as human-readable lines ("file:line:col: [rule] message").
+std::string to_text(const Report& report, bool show_suppressed);
+
+/// Render as versioned JSON (schema "ptilu-lint-v1").
+std::string to_json(const Report& report);
+
+}  // namespace ptilu::lint

@@ -1,0 +1,102 @@
+// ptilu-lint CLI. Self-contained (no ptilu library dependency): flags are
+// parsed by hand so the tool can lint a checkout without building anything
+// else first.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(std::ostream& out, int status) {
+  out << "usage: ptilu_lint [--root=DIR] [--json[=PATH]] [--show-suppressed]\n"
+         "                  [--list-rules] [files...]\n"
+         "\n"
+         "Lints the ptilu sources for project invariants (determinism, SPMD\n"
+         "protocol hygiene, assertion style). With no files, scans every\n"
+         ".cpp/.hpp under DIR/src and DIR/include (DIR defaults to the\n"
+         "current directory). Explicit files are interpreted relative to\n"
+         "DIR for rule scoping.\n"
+         "\n"
+         "  --root=DIR         repository root to scan / resolve against\n"
+         "  --json             write the ptilu-lint-v1 JSON report to stdout\n"
+         "  --json=PATH        write the JSON report to PATH (human text still\n"
+         "                     goes to stdout)\n"
+         "  --show-suppressed  include suppressed findings in the human output\n"
+         "  --list-rules       print the rule names and exit\n"
+         "\n"
+         "Suppressions: // ptilu-lint: allow(<rule>[, <rule>...]) on the\n"
+         "offending line or the line above.\n"
+         "\n"
+         "Exit status: 0 = no unsuppressed findings, 1 = findings, 2 = usage\n"
+         "or I/O error.\n";
+  return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool json_stdout = false;
+  bool show_suppressed = false;
+  std::string json_path;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg == "--list-rules") {
+      for (const std::string& name : ptilu::lint::rule_names()) {
+        std::cout << name << '\n';
+      }
+      return 0;
+    }
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json") {
+      json_stdout = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--show-suppressed") {
+      show_suppressed = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "ptilu_lint: unknown flag '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  try {
+    const ptilu::lint::Report report =
+        files.empty() ? ptilu::lint::lint_tree(root)
+                      : ptilu::lint::lint_files(root, files);
+    if (report.files.empty()) {
+      std::cerr << "ptilu_lint: nothing to scan under '" << root
+                << "' (expected src/ and include/ trees)\n";
+      return 2;
+    }
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "ptilu_lint: cannot write " << json_path << '\n';
+        return 2;
+      }
+      out << ptilu::lint::to_json(report);
+    }
+    if (json_stdout) {
+      std::cout << ptilu::lint::to_json(report);
+    } else {
+      std::cout << ptilu::lint::to_text(report, show_suppressed);
+    }
+    return ptilu::lint::unsuppressed_count(report.findings) == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+}
