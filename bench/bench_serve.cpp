@@ -1,0 +1,466 @@
+// Preconditioner-as-a-service benchmark: seeded synthetic traffic against
+// a FactorCache-backed solve service, measuring what batching and factor
+// reuse buy at serving time.
+//
+// Three bench families, one JSON file ("ptilu-bench-serve-v1"):
+//
+//  * apply_benches — the core serving loop. A deterministic Poisson
+//    arrival schedule (serve/traffic.hpp; modeled seconds, never the wall
+//    clock) is pushed through the single-server FIFO batching policy of
+//    serve/solve_service.hpp at several --batch caps. Batch formation uses
+//    MODELED service times, so WHICH requests batch together is identical
+//    on every backend and every run; each planned batch is then executed
+//    for real through the batched DenseRhsBlock trisolves and its measured
+//    wall time replayed through the same queueing recursion, yielding wall
+//    p50/p99 latency and solves/sec for identical batching decisions.
+//    Arrival times live on the modeled axis and cannot be meaningfully
+//    compared against wall seconds, so the wall replay is CLOSED-LOOP:
+//    every request is treated as already queued at t=0 and the frozen
+//    batches run back-to-back — wall_total_s is exactly the sum of the
+//    measured batch times, and wall latency is time-in-system under full
+//    backlog. The arrival rate oversubscribes the modeled k=1 server, so
+//    the wall throughput ratio between --batch=8 and --batch=1 exposes the
+//    batched kernels' own speedup (factor streamed once per batch, k
+//    register-resident accumulators).
+//
+//  * stream_benches — c host threads each running serial preconditioned
+//    GMRES end to end against ONE shared cached factor (the pipelined
+//    front-end; apply is const and thread-safe by construction). The
+//    checksum folds every stream's residuals/matvecs in stream order, so
+//    it is identical no matter how the OS schedules the threads — the
+//    tsan preset runs exactly this bench's test-suite twin.
+//
+//  * dist_benches — the simulated-parallel side: one batched
+//    DistTriangularSolver::apply over k right-hand sides versus k
+//    single-RHS applies on the same machine, comparing modeled time and
+//    message counts (the batched level sweep sends ONE message pair per
+//    peer per level regardless of k).
+//
+// The top-level "payload_checksum" is an FNV-1a 64 hash over the
+// deterministic fields only (modeled numbers, checksums, cache counters —
+// never wall-clock), so two runs on different backends must produce the
+// same value. With --exact all wall_* fields are omitted from the JSON,
+// making the whole file byte-comparable across runs and backends; CI and
+// the determinism ctests diff exactly that.
+//
+// Flags: --smoke / --quick (problem size), --requests=N, --batch=LIST
+// (batch caps for apply_benches), --streams=LIST (thread counts for
+// stream_benches), --procs=P and --dist-k=K (dist_benches shape),
+// --seed=N, --cache-cap=N (FactorCache capacity; default from
+// PTILU_SERVE_CACHE_CAP), --json=PATH, --exact (deterministic-only JSON),
+// --backend=<sequential|threads> / --threads=N (simulated-machine backend
+// for dist_benches, default from PTILU_BACKEND / PTILU_THREADS).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ptilu/ilu/ilut.hpp"
+#include "ptilu/ilu/rhs_block.hpp"
+#include "ptilu/krylov/gmres.hpp"
+#include "ptilu/krylov/preconditioner.hpp"
+#include "ptilu/pilut/trisolve_dist.hpp"
+#include "ptilu/serve/factor_cache.hpp"
+#include "ptilu/serve/solve_service.hpp"
+#include "ptilu/serve/traffic.hpp"
+#include "ptilu/support/rng.hpp"
+#include "ptilu/support/timer.hpp"
+
+namespace {
+
+using namespace ptilu;
+using bench::TestMatrix;
+
+struct ApplyBench {
+  int batch_max = 0;
+  std::size_t batches = 0;
+  serve::ServeReport modeled;
+  serve::ServeReport wall;  // valid only when `measured`
+  bool measured = false;
+  double checksum = 0.0;
+};
+
+struct StreamBench {
+  int streams = 0;
+  int solves = 0;
+  long long matvecs = 0;
+  double wall_total_s = 0.0;  // valid only when `measured`
+  bool measured = false;
+  double checksum = 0.0;
+};
+
+struct DistBench {
+  int procs = 0;
+  int k = 0;
+  double modeled_batched_s = 0.0;
+  double modeled_single_s = 0.0;
+  std::uint64_t batched_messages = 0;
+  std::uint64_t single_messages = 0;
+  double checksum = 0.0;
+};
+
+double block_checksum(const DenseRhsBlock& x) {
+  double sum = 0.0;
+  for (const real v : x.data) sum += v;
+  return sum;
+}
+
+/// FNV-1a 64 over a string: the payload checksum hashes the deterministic
+/// report fields serialized with the same %.17g the JSON writer uses, so
+/// "same checksum" means "same deterministic payload".
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : s) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void append_g(std::string& out, const char* key, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%s=%.17g;", key, value);
+  out += buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool smoke = cli.get_bool("smoke", false);
+  const bool quick = cli.get_bool("quick", false);
+  bench::Scale scale;
+  if (smoke) {
+    scale = {48, 48, 8, 8, 12};
+  } else if (quick) {
+    scale = {96, 96, 16, 16, 24};
+  }
+  const int requests = static_cast<int>(cli.get_int("requests", smoke ? 48 : (quick ? 96 : 256)));
+  const std::vector<int> batch_caps = cli.get_int_list("batch", {1, 2, 4, 8});
+  const std::vector<int> stream_counts =
+      cli.get_int_list("streams", smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4});
+  const int procs = static_cast<int>(cli.get_int("procs", 4));
+  const int dist_k = static_cast<int>(cli.get_int("dist-k", 8));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const auto cache_cap = static_cast<std::size_t>(
+      cli.get_int("cache-cap", static_cast<long long>(serve::FactorCache::capacity_from_env())));
+  const std::string json_path = cli.get_string("json", "");
+  const bool exact = cli.get_bool("exact", false);
+  const sim::Machine::Options machine_opts = bench::machine_options_from_cli(cli);
+  cli.check_all_consumed();
+  PTILU_CHECK(requests >= 1 && procs >= 1 && dist_k >= 1, "invalid bench shape");
+
+  const TestMatrix g0 = bench::build_g0(scale);
+  const idx n = g0.a.n_rows;
+  const IlutOptions serial_opts{.m = 10, .tau = 1e-4, .pivot_rel = 1e-12};
+
+  serve::FactorCache cache(cache_cap);
+  sim::Metrics registry(1);
+  cache.attach_metrics(&registry);
+
+  std::printf("bench_serve: scale=%s requests=%d seed=%llu cache-cap=%zu backend=%s%s\n",
+              smoke ? "smoke" : (quick ? "quick" : "default"), requests,
+              static_cast<unsigned long long>(seed), cache_cap,
+              sim::backend_name(machine_opts.backend), exact ? " (exact)" : "");
+
+  // Shared modeled service-time model: every batch streams the factors once
+  // and pays k columns of substitution flops, at the simulator's T3D rates.
+  const std::shared_ptr<const Preconditioner> factor = cache.get(g0.a, serial_opts);
+  const auto* ilu = dynamic_cast<const IluPreconditioner*>(factor.get());
+  PTILU_CHECK(ilu != nullptr, "serve bench expects a scalar ILUT factor");
+  const auto nnz_l = static_cast<std::uint64_t>(ilu->factors().l.nnz());
+  const auto nnz_u = static_cast<std::uint64_t>(ilu->factors().u.nnz());
+  const sim::MachineParams rates = sim::MachineParams::cray_t3d();
+  const auto modeled_service = [&](int k) {
+    return serve::modeled_batch_service_s(k, n, nnz_l, nnz_u, rates.flop, rates.mem);
+  };
+
+  // Oversubscribe the k=1 server (arrivals 8x faster than it can solve):
+  // under this load the batch caps separate cleanly, and solves/sec
+  // becomes a measurement of per-batch service cost, i.e. of the batched
+  // kernels themselves.
+  serve::TrafficOptions traffic;
+  traffic.requests = requests;
+  traffic.mean_interarrival_s = modeled_service(1) / 8.0;
+  traffic.seed = seed;
+  const std::vector<serve::Request> schedule = serve::make_schedule(traffic);
+
+  // --- apply_benches: queue the same schedule at each batch cap.
+  std::vector<ApplyBench> apply_benches;
+  for (const int batch_max : batch_caps) {
+    PTILU_CHECK(batch_max >= 1, "--batch entries must be >= 1");
+    ApplyBench bench;
+    bench.batch_max = batch_max;
+    const std::vector<serve::Batch> plan =
+        serve::plan_serve(schedule, batch_max, modeled_service);
+    bench.batches = plan.size();
+
+    std::vector<double> planned_s(plan.size());
+    for (std::size_t b = 0; b < plan.size(); ++b) planned_s[b] = plan[b].service_s;
+    bench.modeled = serve::replay_latencies(plan, schedule, planned_s);
+
+    // Execute every batch for real through the cache-held factor; the same
+    // factor serves every batch cap, so after the first miss this loop is
+    // all cache hits. Wall time per batch feeds the replay; the solve
+    // values feed the checksum either way.
+    const std::shared_ptr<const Preconditioner> served = cache.get(g0.a, serial_opts);
+    std::vector<double> wall_s(plan.size(), 0.0);
+    for (std::size_t b = 0; b < plan.size(); ++b) {
+      const serve::Batch& batch = plan[b];
+      DenseRhsBlock rhs(n, batch.count);
+      for (int c = 0; c < batch.count; ++c) {
+        rhs.set_col(c, serve::make_rhs(
+                           n, schedule[static_cast<std::size_t>(batch.first + c)].rhs_seed));
+      }
+      DenseRhsBlock x(n, batch.count);
+      WallTimer timer;
+      serve::apply_batch(*served, rhs, x);
+      wall_s[b] = timer.seconds();
+      bench.checksum += block_checksum(x);
+    }
+    if (!exact) {
+      // Closed-loop wall replay: same batches, arrivals pinned to t=0 (see
+      // the file comment — modeled arrivals and wall seconds are different
+      // axes), so wall_total_s is the pure back-to-back service time.
+      std::vector<serve::Request> saturated = schedule;
+      for (serve::Request& request : saturated) request.arrival_s = 0.0;
+      bench.wall = serve::replay_latencies(plan, saturated, wall_s);
+      bench.measured = true;
+    }
+
+    const double modeled_rate = static_cast<double>(requests) / bench.modeled.total_s;
+    std::printf("apply  batch<=%-2d %4zu batches  modeled %8.1f solves/s  p99 %.3e s",
+                batch_max, bench.batches, modeled_rate,
+                serve::quantile(bench.modeled.latency_s, 0.99));
+    if (bench.measured) {
+      std::printf("  wall %8.1f solves/s",
+                  static_cast<double>(requests) / bench.wall.total_s);
+    }
+    std::printf("\n");
+    apply_benches.push_back(std::move(bench));
+  }
+
+  // The headline ratio the acceptance gate watches: wall solves/sec at the
+  // largest batch cap over batch cap 1.
+  if (!exact && apply_benches.size() >= 2 && apply_benches.front().batch_max == 1) {
+    const ApplyBench& widest = apply_benches.back();
+    const double ratio = apply_benches.front().wall.total_s / widest.wall.total_s;
+    std::printf("batched wall speedup (batch<=%d vs 1): %.2fx\n", widest.batch_max, ratio);
+  }
+
+  // --- stream_benches: c concurrent GMRES streams, one shared factor.
+  std::vector<StreamBench> stream_benches;
+  const int stream_solves = smoke ? 8 : (quick ? 12 : 24);
+  for (const int streams : stream_counts) {
+    PTILU_CHECK(streams >= 1, "--streams entries must be >= 1");
+    StreamBench bench;
+    bench.streams = streams;
+    bench.solves = stream_solves;
+    const std::shared_ptr<const Preconditioner> shared = cache.get(g0.a, serial_opts);
+    std::vector<double> stream_sums(static_cast<std::size_t>(streams), 0.0);
+    std::vector<long long> stream_matvecs(static_cast<std::size_t>(streams), 0);
+    WallTimer timer;
+    {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(streams));
+      for (int s = 0; s < streams; ++s) {
+        pool.emplace_back([&, s]() {
+          // Stream s owns solves s, s+streams, s+2*streams, ... — a fixed
+          // partition, so the per-stream sums (and therefore the checksum)
+          // do not depend on thread scheduling.
+          for (int q = s; q < stream_solves; q += streams) {
+            const RealVec b = serve::make_rhs(
+                n, mix64(seed ^ (0xB0A715ULL + static_cast<std::uint64_t>(q))));
+            RealVec x(static_cast<std::size_t>(n), 0.0);
+            const GmresResult solve = gmres(g0.a, *shared, b, x, {.restart = 20});
+            stream_sums[static_cast<std::size_t>(s)] +=
+                solve.final_residual + static_cast<double>(solve.matvecs);
+            stream_matvecs[static_cast<std::size_t>(s)] += solve.matvecs;
+          }
+        });
+      }
+      for (std::thread& t : pool) t.join();
+    }
+    bench.wall_total_s = timer.seconds();
+    bench.measured = !exact;
+    for (int s = 0; s < streams; ++s) {
+      bench.checksum += stream_sums[static_cast<std::size_t>(s)];
+      bench.matvecs += stream_matvecs[static_cast<std::size_t>(s)];
+    }
+    std::printf("stream c=%-2d %d solves  checksum %.6g", streams, bench.solves,
+                bench.checksum);
+    if (bench.measured) {
+      std::printf("  wall %6.1f solves/s",
+                  static_cast<double>(bench.solves) / bench.wall_total_s);
+    }
+    std::printf("\n");
+    stream_benches.push_back(bench);
+  }
+
+  // --- dist_benches: batched vs single-RHS distributed trisolve applies.
+  std::vector<DistBench> dist_benches;
+  {
+    DistBench bench;
+    bench.procs = procs;
+    bench.k = dist_k;
+    const DistCsr dist = bench::distribute(g0.a, procs);
+    sim::Machine machine(procs, machine_opts);
+    const PilutOptions pilut_opts{.m = 10, .tau = 1e-4, .pivot_rel = 1e-12};
+    const PilutResult fact = pilut_factor(machine, dist, pilut_opts);
+    const DistTriangularSolver solver(fact.factors, fact.schedule);
+
+    DenseRhsBlock rhs(n, dist_k);
+    for (int c = 0; c < dist_k; ++c) {
+      rhs.set_col(c, serve::make_rhs(
+                         n, mix64(seed ^ (0xD157ULL + static_cast<std::uint64_t>(c)))));
+    }
+
+    machine.reset();
+    RealVec x_single(static_cast<std::size_t>(n));
+    for (int c = 0; c < dist_k; ++c) {
+      const RealVec b(rhs.col(c).begin(), rhs.col(c).end());
+      solver.apply(machine, b, x_single);
+      for (const real v : x_single) bench.checksum += v;
+    }
+    bench.modeled_single_s = machine.modeled_time();
+    bench.single_messages = machine.total_counters().messages_sent;
+
+    machine.reset();
+    DenseRhsBlock x_batched(n, dist_k);
+    solver.apply(machine, rhs, x_batched);
+    bench.modeled_batched_s = machine.modeled_time();
+    bench.batched_messages = machine.total_counters().messages_sent;
+    std::printf("dist   p=%-3d k=%d  modeled %.3e s batched vs %.3e s single (%.2fx), "
+                "messages %llu vs %llu\n",
+                procs, dist_k, bench.modeled_batched_s, bench.modeled_single_s,
+                bench.modeled_single_s / bench.modeled_batched_s,
+                static_cast<unsigned long long>(bench.batched_messages),
+                static_cast<unsigned long long>(bench.single_messages));
+    dist_benches.push_back(bench);
+  }
+
+  const serve::CacheStats& cache_stats = cache.stats();
+  std::printf("cache  cap=%zu hits=%llu misses=%llu evictions=%llu\n", cache.capacity(),
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses),
+              static_cast<unsigned long long>(cache_stats.evictions));
+  // stats() and the attached registry must always tell the same story.
+  PTILU_CHECK(registry.counter_value("serve/cache/hits", 0) == cache_stats.hits &&
+                  registry.counter_value("serve/cache/misses", 0) == cache_stats.misses &&
+                  registry.counter_value("serve/cache/evictions", 0) == cache_stats.evictions,
+              "cache stats / metrics registry mismatch");
+
+  // Deterministic payload checksum: everything modeled, nothing wall.
+  std::string payload = "ptilu-bench-serve-v1;";
+  payload += g0.name + ";";
+  payload += std::to_string(n) + ";" + std::to_string(g0.a.nnz()) + ";";
+  payload += std::to_string(requests) + ";" + std::to_string(seed) + ";";
+  payload += std::to_string(cache_stats.hits) + ";" + std::to_string(cache_stats.misses) +
+             ";" + std::to_string(cache_stats.evictions) + ";";
+  for (const ApplyBench& bench : apply_benches) {
+    payload += "apply:" + std::to_string(bench.batch_max) + ":" +
+               std::to_string(bench.batches) + ";";
+    append_g(payload, "total", bench.modeled.total_s);
+    append_g(payload, "p50", serve::quantile(bench.modeled.latency_s, 0.50));
+    append_g(payload, "p99", serve::quantile(bench.modeled.latency_s, 0.99));
+    append_g(payload, "sum", bench.checksum);
+  }
+  for (const StreamBench& bench : stream_benches) {
+    payload += "stream:" + std::to_string(bench.streams) + ":" +
+               std::to_string(bench.matvecs) + ";";
+    append_g(payload, "sum", bench.checksum);
+  }
+  for (const DistBench& bench : dist_benches) {
+    payload += "dist:" + std::to_string(bench.procs) + ":" + std::to_string(bench.k) + ":" +
+               std::to_string(bench.batched_messages) + ":" +
+               std::to_string(bench.single_messages) + ";";
+    append_g(payload, "batched", bench.modeled_batched_s);
+    append_g(payload, "single", bench.modeled_single_s);
+    append_g(payload, "sum", bench.checksum);
+  }
+  const std::uint64_t payload_checksum = fnv1a(payload);
+  std::printf("payload checksum %016llx\n",
+              static_cast<unsigned long long>(payload_checksum));
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    PTILU_CHECK(f != nullptr, "cannot open " << json_path << " for writing");
+    std::fprintf(f, "{\n  \"schema\": \"ptilu-bench-serve-v1\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n  \"quick\": %s,\n", smoke ? "true" : "false",
+                 quick ? "true" : "false");
+    std::fprintf(f, "  \"backend\": \"%s\",\n  \"threads\": %d,\n  \"exact\": %s,\n",
+                 sim::backend_name(machine_opts.backend), machine_opts.threads,
+                 exact ? "true" : "false");
+    std::fprintf(f, "  \"workload\": \"%s\",\n  \"n\": %d,\n  \"nnz\": %lld,\n",
+                 g0.name.c_str(), n, static_cast<long long>(g0.a.nnz()));
+    std::fprintf(f, "  \"requests\": %d,\n  \"seed\": %llu,\n", requests,
+                 static_cast<unsigned long long>(seed));
+    std::fprintf(f, "  \"mean_interarrival_s\": %.17g,\n", traffic.mean_interarrival_s);
+    std::fprintf(f,
+                 "  \"cache\": {\"capacity\": %zu, \"hits\": %llu, \"misses\": %llu, "
+                 "\"evictions\": %llu},\n",
+                 cache.capacity(), static_cast<unsigned long long>(cache_stats.hits),
+                 static_cast<unsigned long long>(cache_stats.misses),
+                 static_cast<unsigned long long>(cache_stats.evictions));
+    std::fprintf(f, "  \"apply_benches\": [\n");
+    for (std::size_t i = 0; i < apply_benches.size(); ++i) {
+      const ApplyBench& bench = apply_benches[i];
+      std::fprintf(f,
+                   "    {\"name\": \"apply_b%d\", \"batch_max\": %d, \"batches\": %zu,\n",
+                   bench.batch_max, bench.batch_max, bench.batches);
+      std::fprintf(f,
+                   "     \"modeled_total_s\": %.17g, \"modeled_solves_per_s\": %.17g,\n"
+                   "     \"modeled_p50_s\": %.17g, \"modeled_p99_s\": %.17g,\n",
+                   bench.modeled.total_s,
+                   static_cast<double>(requests) / bench.modeled.total_s,
+                   serve::quantile(bench.modeled.latency_s, 0.50),
+                   serve::quantile(bench.modeled.latency_s, 0.99));
+      if (bench.measured) {
+        std::fprintf(f,
+                     "     \"wall_total_s\": %.6f, \"wall_solves_per_s\": %.6f,\n"
+                     "     \"wall_p50_s\": %.6f, \"wall_p99_s\": %.6f,\n",
+                     bench.wall.total_s,
+                     static_cast<double>(requests) / bench.wall.total_s,
+                     serve::quantile(bench.wall.latency_s, 0.50),
+                     serve::quantile(bench.wall.latency_s, 0.99));
+      }
+      std::fprintf(f, "     \"checksum\": %.17g}%s\n", bench.checksum,
+                   i + 1 < apply_benches.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"stream_benches\": [\n");
+    for (std::size_t i = 0; i < stream_benches.size(); ++i) {
+      const StreamBench& bench = stream_benches[i];
+      std::fprintf(f, "    {\"streams\": %d, \"solves\": %d, \"matvecs\": %lld,\n",
+                   bench.streams, bench.solves, bench.matvecs);
+      if (bench.measured) {
+        std::fprintf(f, "     \"wall_total_s\": %.6f, \"wall_solves_per_s\": %.6f,\n",
+                     bench.wall_total_s,
+                     static_cast<double>(bench.solves) / bench.wall_total_s);
+      }
+      std::fprintf(f, "     \"checksum\": %.17g}%s\n", bench.checksum,
+                   i + 1 < stream_benches.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"dist_benches\": [\n");
+    for (std::size_t i = 0; i < dist_benches.size(); ++i) {
+      const DistBench& bench = dist_benches[i];
+      std::fprintf(f, "    {\"procs\": %d, \"k\": %d,\n", bench.procs, bench.k);
+      std::fprintf(f,
+                   "     \"modeled_batched_s\": %.17g, \"modeled_single_s\": %.17g, "
+                   "\"modeled_speedup\": %.17g,\n",
+                   bench.modeled_batched_s, bench.modeled_single_s,
+                   bench.modeled_single_s / bench.modeled_batched_s);
+      std::fprintf(f, "     \"batched_messages\": %llu, \"single_messages\": %llu,\n",
+                   static_cast<unsigned long long>(bench.batched_messages),
+                   static_cast<unsigned long long>(bench.single_messages));
+      std::fprintf(f, "     \"checksum\": %.17g}%s\n", bench.checksum,
+                   i + 1 < dist_benches.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"payload_checksum\": \"%016llx\"\n}\n",
+                 static_cast<unsigned long long>(payload_checksum));
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -75,4 +75,91 @@ inline real tile_frob2(int nb, const real* t) {
   return acc;
 }
 
+// ---- Multi-RHS (nb x k) variants --------------------------------------
+//
+// The batched triangular solves (trisolve.hpp, DenseRhsBlock) carry k
+// independent right-hand sides through one sweep over the factor. Per
+// nonzero the single-RHS kernels above do one fused multiply-subtract; the
+// multi-RHS kernels do k of them against k solution columns, which breaks
+// the FMA latency chain (the k accumulators are independent) and reuses
+// the just-loaded factor entry k times. Column c's arithmetic is exactly
+// the single-RHS order — batching only interleaves independent columns —
+// so batched results are bit-identical column-for-column (scalar path;
+// held by tests/test_serve.cpp).
+//
+// `s` points at row entries of a column-major n x k block: the value for
+// column c is s[c * s_stride] (s_stride = the block's row count n).
+
+/// acc[c] -= a * s[c * s_stride] for c in [0, K) — the scalar-factor
+/// batched inner kernel (one CSR entry against K solution columns).
+template <int K>
+inline void rhs_axpy(real* PTILU_RESTRICT acc, real a, const real* PTILU_RESTRICT s,
+                     std::size_t s_stride) {
+  for (int c = 0; c < K; ++c) acc[c] -= a * s[c * s_stride];
+}
+
+/// Runtime-width dispatch to the fixed-K instantiations.
+inline void rhs_axpy_any(int k, real* PTILU_RESTRICT acc, real a,
+                         const real* PTILU_RESTRICT s, std::size_t s_stride) {
+  switch (k) {
+    case 8: rhs_axpy<8>(acc, a, s, s_stride); return;
+    case 4: rhs_axpy<4>(acc, a, s, s_stride); return;
+    case 2: rhs_axpy<2>(acc, a, s, s_stride); return;
+    case 1: rhs_axpy<1>(acc, a, s, s_stride); return;
+    default:
+      for (int c = 0; c < k; ++c) acc[c] -= a * s[c * s_stride];
+  }
+}
+
+/// The nb x k tile kernel: subtract an nb-wide factor-column tile times K
+/// solution entries from K panel accumulators. `acc` holds K column-major
+/// nb-tiles (column c's tile at acc[c*NB .. c*NB+NB)); `m` is the tile.
+template <int NB, int K>
+inline void tile_axpy_rhs(real* PTILU_RESTRICT acc, const real* PTILU_RESTRICT m,
+                          const real* PTILU_RESTRICT s, std::size_t s_stride) {
+  for (int c = 0; c < K; ++c) {
+    const real sc = s[c * s_stride];
+    for (int j = 0; j < NB; ++j) acc[c * NB + j] -= m[j] * sc;
+  }
+}
+
+namespace detail {
+template <int NB>
+inline void tile_axpy_rhs_k(int k, real* PTILU_RESTRICT acc,
+                            const real* PTILU_RESTRICT m,
+                            const real* PTILU_RESTRICT s, std::size_t s_stride) {
+  switch (k) {
+    case 8: tile_axpy_rhs<NB, 8>(acc, m, s, s_stride); return;
+    case 4: tile_axpy_rhs<NB, 4>(acc, m, s, s_stride); return;
+    case 2: tile_axpy_rhs<NB, 2>(acc, m, s, s_stride); return;
+    case 1: tile_axpy_rhs<NB, 1>(acc, m, s, s_stride); return;
+    default:
+      for (int c = 0; c < k; ++c) {
+        const real sc = s[c * s_stride];
+        for (int j = 0; j < NB; ++j) acc[c * NB + j] -= m[j] * sc;
+      }
+  }
+}
+}  // namespace detail
+
+/// Runtime (nb, k) dispatch to the fixed-size nb x k instantiations. Both
+/// dimensions come from {1, 2, 4, 8} on the hot paths (panel widths from
+/// detect_panels, batch groups from the batched solves); the generic
+/// fallback keeps arbitrary sizes correct.
+inline void tile_axpy_rhs_any(int nb, int k, real* PTILU_RESTRICT acc,
+                              const real* PTILU_RESTRICT m,
+                              const real* PTILU_RESTRICT s, std::size_t s_stride) {
+  switch (nb) {
+    case 8: detail::tile_axpy_rhs_k<8>(k, acc, m, s, s_stride); return;
+    case 4: detail::tile_axpy_rhs_k<4>(k, acc, m, s, s_stride); return;
+    case 2: detail::tile_axpy_rhs_k<2>(k, acc, m, s, s_stride); return;
+    case 1: detail::tile_axpy_rhs_k<1>(k, acc, m, s, s_stride); return;
+    default:
+      for (int c = 0; c < k; ++c) {
+        const real sc = s[c * s_stride];
+        for (int j = 0; j < nb; ++j) acc[c * nb + j] -= m[j] * sc;
+      }
+  }
+}
+
 }  // namespace ptilu

@@ -1,0 +1,65 @@
+// Column-major dense block of k right-hand sides / solution vectors.
+//
+// The serving workload (docs/SERVING.md) batches k independent solve
+// requests against one cached factorization, so the triangular-solve hot
+// loops want the k values of a single row adjacent in the iteration order
+// while each column remains a contiguous vector a caller can hand out as a
+// span. Column-major storage gives both: column c is data[c*n .. c*n+n),
+// and the batched kernels walk row i across columns with stride n.
+//
+// The batched solves in trisolve.hpp / trisolve_dist.hpp guarantee that
+// column c of the batched result is BIT-IDENTICAL to a single-RHS solve of
+// column c (scalar CSR path) — per column the accumulation order is exactly
+// the single-RHS order, batching only interleaves independent columns.
+// tests/test_serve.cpp holds that contract.
+#pragma once
+
+#include <span>
+
+#include "ptilu/support/check.hpp"
+#include "ptilu/support/types.hpp"
+
+namespace ptilu {
+
+/// n-by-k column-major dense block; entry (i, c) lives at data[c*n + i].
+struct DenseRhsBlock {
+  idx n = 0;   ///< rows (the vector length)
+  int k = 0;   ///< columns (the batch width)
+  RealVec data;
+
+  DenseRhsBlock() = default;
+  DenseRhsBlock(idx rows, int cols)
+      : n(rows), k(cols),
+        data(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0) {
+    PTILU_CHECK(rows >= 0 && cols >= 1, "DenseRhsBlock needs n >= 0 and k >= 1");
+  }
+
+  real& at(idx i, int c) {
+    return data[static_cast<std::size_t>(c) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(i)];
+  }
+  real at(idx i, int c) const {
+    return data[static_cast<std::size_t>(c) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(i)];
+  }
+
+  /// Column c as a contiguous vector view.
+  std::span<real> col(int c) {
+    return {data.data() + static_cast<std::size_t>(c) * static_cast<std::size_t>(n),
+            static_cast<std::size_t>(n)};
+  }
+  std::span<const real> col(int c) const {
+    return {data.data() + static_cast<std::size_t>(c) * static_cast<std::size_t>(n),
+            static_cast<std::size_t>(n)};
+  }
+
+  /// Copy a single vector into column c.
+  void set_col(int c, std::span<const real> v) {
+    PTILU_CHECK(v.size() == static_cast<std::size_t>(n),
+                "set_col size mismatch");
+    std::span<real> dst = col(c);
+    for (std::size_t i = 0; i < v.size(); ++i) dst[i] = v[i];
+  }
+};
+
+}  // namespace ptilu

@@ -6,6 +6,7 @@
 #include <span>
 
 #include "ptilu/ilu/factors.hpp"
+#include "ptilu/ilu/rhs_block.hpp"
 #include "ptilu/support/types.hpp"
 
 namespace ptilu {
@@ -36,5 +37,31 @@ void backward_solve(const BlockedFactors& f, std::span<const real> y, std::span<
 /// x = U^{-1} L^{-1} b with blocked factors — the blocked preconditioner
 /// application.
 void ilu_apply(const BlockedFactors& f, std::span<const real> b, std::span<real> x);
+
+// ---- Batched multi-RHS solves (the serving hot path) -------------------
+//
+// One sweep over the factor carries all k columns of a DenseRhsBlock: per
+// CSR entry (or panel tile) the k independent accumulators update together
+// (block_kernels.hpp rhs kernels), which breaks the single-RHS FMA latency
+// chain and reuses each loaded factor entry k times. Column c of the
+// result is bit-identical to the single-RHS solve of column c for the
+// scalar CSR overloads (per column the accumulation order is exactly the
+// single-RHS order); the blocked overloads match their single-RHS blocked
+// counterparts the same way. Held by tests/test_serve.cpp for
+// k in {1, 2, 4, 8, 13}.
+
+/// Solve L Y = B column-wise, one sweep over L.
+void forward_solve(const Csr& l, const DenseRhsBlock& b, DenseRhsBlock& y);
+
+/// Solve U X = Y column-wise, one sweep over U (diag-first rows).
+void backward_solve(const Csr& u, const DenseRhsBlock& y, DenseRhsBlock& x);
+
+/// X = U^{-1} L^{-1} B — batched preconditioner application.
+void ilu_apply(const IluFactors& factors, const DenseRhsBlock& b, DenseRhsBlock& x);
+
+/// Blocked-factor batched solves: nb x k register tiles per panel.
+void forward_solve(const BlockedFactors& f, const DenseRhsBlock& b, DenseRhsBlock& y);
+void backward_solve(const BlockedFactors& f, const DenseRhsBlock& y, DenseRhsBlock& x);
+void ilu_apply(const BlockedFactors& f, const DenseRhsBlock& b, DenseRhsBlock& x);
 
 }  // namespace ptilu

@@ -33,4 +33,16 @@ GmresResult gmres_dist(sim::Machine& machine, const DistCsr& dist, const Halo& h
                        const PilutResult& factorization, std::span<const real> b,
                        std::span<real> x, const GmresOptions& opts = {});
 
+/// Shared-solver overload for serving workloads: apply GMRES through a
+/// DistTriangularSolver built ONCE from a factorization and reused across
+/// many solves (the solver's consumer/level setup is host-side work that a
+/// per-request solve should not repay — see docs/SERVING.md). The overload
+/// above delegates here after building a solver, so a sequence of calls
+/// with a shared solver is bit-identical to the same sequence of
+/// from-factorization calls. The solver must have been built against a
+/// factorization of this dist matrix's permuted form.
+GmresResult gmres_dist(sim::Machine& machine, const DistCsr& dist, const Halo& halo,
+                       const DistTriangularSolver& solver, std::span<const real> b,
+                       std::span<real> x, const GmresOptions& opts = {});
+
 }  // namespace ptilu

@@ -44,6 +44,10 @@ class IluPreconditioner final : public Preconditioner {
   void apply(std::span<const real> b, std::span<real> x) const override;
 
   const IluFactors& factors() const { return factors_; }
+  /// The permutation the factors were computed under (empty = natural
+  /// order). The serving layer batches applies only for natural-order
+  /// factors, so it needs to see this.
+  const IdxVec& permutation() const { return new_of_; }
 
  private:
   IluFactors factors_;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "ptilu/ilu/factors.hpp"
+#include "ptilu/ilu/rhs_block.hpp"
 #include "ptilu/pilut/pilut.hpp"
 #include "ptilu/sim/machine.hpp"
 
@@ -32,7 +33,24 @@ class DistTriangularSolver {
   /// x = U^{-1} L^{-1} b — one full preconditioner application.
   void apply(sim::Machine& machine, const RealVec& b, RealVec& x) const;
 
+  /// Batched multi-RHS solves: one level sweep carries all k columns, and
+  /// each freshly computed interface row ships its k values in the SAME
+  /// per-peer message a single-RHS solve would have used — per level and
+  /// peer the batched solve pays one message latency where k single-RHS
+  /// solves pay k, which is the serving-throughput amortization
+  /// (docs/SERVING.md). Column c of the result is bit-identical to the
+  /// single-RHS solve of column c (held by tests/test_serve.cpp); the
+  /// single-RHS paths above are untouched.
+  void forward(sim::Machine& machine, const DenseRhsBlock& b, DenseRhsBlock& y) const;
+  void backward(sim::Machine& machine, const DenseRhsBlock& y, DenseRhsBlock& x) const;
+  void apply(sim::Machine& machine, const DenseRhsBlock& b, DenseRhsBlock& x) const;
+
   int levels() const { return schedule_->levels(); }
+
+  /// The factorization schedule this solver was built against (callers
+  /// such as gmres_dist need its permutation to scatter vectors into the
+  /// factored ordering when sharing one solver across many solves).
+  const PilutSchedule& schedule() const { return *schedule_; }
 
  private:
   const IluFactors* factors_;

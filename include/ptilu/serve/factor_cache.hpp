@@ -1,0 +1,143 @@
+// Factor cache for the solve-service layer (docs/SERVING.md).
+//
+// The paper's economics — factor once, amortize the setup over many
+// triangular solves — is a serving workload: requests name an operator and
+// a right-hand side, and the expensive ILUT factorization should run only
+// when the (matrix, parameters, kernel variant) triple has not been seen
+// recently. FactorCache keys completed factorizations by a 64-bit FNV-1a
+// fingerprint of the matrix (structure AND values — a coefficient update
+// is a different operator) combined with the exact factorization
+// parameters, and evicts least-recently-used entries beyond a fixed
+// capacity (default from PTILU_SERVE_CACHE_CAP).
+//
+// Entries hold immutable `shared_ptr<const Preconditioner>`s: once handed
+// out, a factor stays valid even if evicted mid-flight, and concurrent
+// GMRES streams on host threads can apply one shared factor without
+// synchronization (Preconditioner::apply is const and allocation-local;
+// the tsan CI preset sweats exactly this sharing). The cache itself is NOT
+// thread-safe by design: serving front-ends resolve factors on the
+// dispatch thread, so hit/miss/eviction sequences stay deterministic —
+// a locked cache racing two misses on one key would factor twice or not,
+// depending on timing, and every counter downstream would wobble.
+//
+// Storage is a plain list scanned linearly (capacities are small — this is
+// a cache of factorizations, each megabytes of CSR), keeping iteration
+// order deterministic; the determinism-unordered-iter lint rule forbids
+// hash-map iteration in src/ for exactly this class of structure.
+//
+// Observability: hit/miss/eviction totals are always available via
+// stats(), and attach_metrics() additionally mirrors them into a
+// sim::Metrics named-counter registry ("serve/cache/hits" etc. at rank 0),
+// where they survive Machine::reset() — named counters are not banked by
+// reset, so a serving session spanning many solve epochs keeps one running
+// tally. tests/test_serve.cpp reconciles both views.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+
+#include "ptilu/ilu/ilut.hpp"
+#include "ptilu/ilu/ilut_blocked.hpp"
+#include "ptilu/krylov/preconditioner.hpp"
+#include "ptilu/sparse/csr.hpp"
+#include "ptilu/support/types.hpp"
+
+namespace ptilu::sim {
+class Metrics;
+}  // namespace ptilu::sim
+
+namespace ptilu::serve {
+
+/// FNV-1a 64 fingerprint of a CSR matrix: dimensions, row pointers, column
+/// indices, and value bit patterns. Any structural or numerical change —
+/// including a sign flip or a value edit that keeps the pattern — yields a
+/// different fingerprint (up to hash collision, 2^-64 per pair).
+std::uint64_t matrix_fingerprint(const Csr& a);
+
+/// Which factorization kernel family a cached entry was built with.
+/// Scalar and blocked factors drop differently (entry-wise vs block
+/// Frobenius), so the same (matrix, m, tau) under different variants are
+/// distinct operators from the cache's point of view.
+enum class FactorVariant : std::uint8_t {
+  kScalar = 0,   ///< ilut() + CSR trisolves
+  kBlocked = 1,  ///< ilut_blocked() + register-blocked panel trisolves
+};
+
+/// Short lowercase name ("scalar", "blocked").
+const char* factor_variant_name(FactorVariant variant);
+
+/// Full cache key. Equality is exact: every field that changes the factors
+/// participates.
+struct FactorKey {
+  std::uint64_t matrix = 0;  ///< matrix_fingerprint of the operator
+  FactorVariant variant = FactorVariant::kScalar;
+  idx m = 0;
+  real tau = 0.0;
+  real pivot_rel = 0.0;
+  int max_panel = 0;  ///< blocked only; 0 for scalar
+  real slack = 0.0;   ///< blocked only; 0 for scalar
+
+  bool operator==(const FactorKey&) const = default;
+};
+
+/// Monotone totals over the cache's lifetime.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+class FactorCache {
+ public:
+  /// Capacity = max resident factorizations; least-recently-used entries
+  /// beyond it are evicted on insert. Default from PTILU_SERVE_CACHE_CAP.
+  explicit FactorCache(std::size_t capacity = capacity_from_env());
+
+  /// Mirror hit/miss/eviction counts into a metrics registry (rank 0 of
+  /// the "serve/cache/hits" / "serve/cache/misses" / "serve/cache/evictions"
+  /// named counters). Pass nullptr to detach. Counts recorded before
+  /// attachment are replayed into the registry so both views always agree.
+  void attach_metrics(sim::Metrics* metrics);
+
+  /// The cached scalar-ILUT preconditioner for (a, opts), factoring on
+  /// miss. The returned factor is immutable and remains valid after
+  /// eviction; apply() from concurrent threads is safe.
+  std::shared_ptr<const Preconditioner> get(const Csr& a, const IlutOptions& opts);
+
+  /// Blocked-variant counterpart (supernodal factors, panel trisolves).
+  std::shared_ptr<const Preconditioner> get_blocked(const Csr& a,
+                                                    const BlockedIlutOptions& opts);
+
+  /// True when (a, opts, variant) is resident — no factoring, no counter
+  /// movement, no LRU reordering (introspection for tests and reporting).
+  bool contains(const FactorKey& key) const;
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const CacheStats& stats() const { return stats_; }
+
+  /// PTILU_SERVE_CACHE_CAP, or 8 when unset/empty. Throws ptilu::Error on
+  /// an unparseable or non-positive value.
+  static std::size_t capacity_from_env();
+
+ private:
+  struct Entry {
+    FactorKey key;
+    std::shared_ptr<const Preconditioner> factor;
+  };
+
+  std::shared_ptr<const Preconditioner> lookup_or_insert(
+      const FactorKey& key,
+      const std::function<std::shared_ptr<const Preconditioner>()>& build);
+  void bump(std::uint64_t CacheStats::* slot, std::uint32_t counter);
+
+  std::size_t capacity_;
+  std::list<Entry> entries_;  ///< front = most recently used
+  CacheStats stats_;
+  sim::Metrics* metrics_ = nullptr;
+  std::uint32_t hit_id_ = 0, miss_id_ = 0, evict_id_ = 0;  ///< counter ids
+};
+
+}  // namespace ptilu::serve

@@ -1,0 +1,88 @@
+// Batched FIFO solve service: queueing plan, latency accounting, and the
+// batched preconditioner-application front-end (docs/SERVING.md).
+//
+// The serving pipeline has two halves, split so the *decisions* stay
+// deterministic while the *measurements* can still be wall-clock:
+//
+//  1. plan_serve() forms batches from an arrival schedule using MODELED
+//     per-batch service times — a single-server FIFO queue that, whenever
+//     the server frees up, takes everything waiting (up to batch_max) as
+//     one batch, or idles until the next arrival. Identical inputs give
+//     identical batches on every backend and every run.
+//  2. replay_latencies() re-runs the same queueing recursion over the
+//     frozen batch plan with measured wall service times substituted,
+//     yielding wall latencies without letting timing jitter change WHICH
+//     requests were batched together.
+//
+// Batching matters because the batched trisolves (ilu/trisolve.hpp,
+// DenseRhsBlock overloads) stream the factors once per batch instead of
+// once per request and carry k register-resident accumulators per row —
+// so a batch of k costs far less than k single solves, and throughput
+// under load rises with queue depth. The latency numbers expose the other
+// side of that trade (requests wait for the server to free up).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ptilu/ilu/rhs_block.hpp"
+#include "ptilu/krylov/preconditioner.hpp"
+#include "ptilu/serve/traffic.hpp"
+#include "ptilu/support/types.hpp"
+
+namespace ptilu::serve {
+
+/// One planned batch: requests [first, first + count) of the arrival
+/// schedule, served together starting at start_s.
+struct Batch {
+  int first = 0;
+  int count = 0;
+  double start_s = 0.0;    ///< max(server free, arrival of last member)
+  double service_s = 0.0;  ///< modeled service time used by the plan
+};
+
+/// Per-request and aggregate latency view of one served schedule.
+struct ServeReport {
+  std::vector<double> latency_s;  ///< completion - arrival, per request
+  double total_s = 0.0;           ///< completion time of the last batch
+};
+
+/// Modeled service time for a batch of k solves against a factorization
+/// with the given nonzero counts: k times the substitution flops plus ONE
+/// stream of the factor bytes (the batched kernels read L and U once per
+/// batch). Uses the simulator's flop/mem rates so the numbers live on the
+/// same axis as machine.modeled_time().
+double modeled_batch_service_s(int k, idx n, std::uint64_t nnz_l, std::uint64_t nnz_u,
+                               double flop_t, double mem_t);
+
+/// Form batches from an arrival schedule (arrival times strictly
+/// increasing) with a single-server FIFO greedy policy: when the server is
+/// free and requests are queued, serve min(queued, batch_max) of them
+/// immediately; otherwise idle until the next arrival. service_s(k) maps
+/// batch size to modeled service time. Deterministic in its inputs.
+std::vector<Batch> plan_serve(const std::vector<Request>& schedule, int batch_max,
+                              const std::function<double(int)>& service_s);
+
+/// Latency accounting for a frozen batch plan: re-run the queueing
+/// recursion using `service_per_batch[b]` as batch b's service time (pass
+/// the planned times to get modeled latencies, or measured wall times to
+/// get wall latencies for the SAME batching decisions).
+ServeReport replay_latencies(const std::vector<Batch>& batches,
+                             const std::vector<Request>& schedule,
+                             const std::vector<double>& service_per_batch);
+
+/// Nearest-rank quantile (q in [0, 1]) of an unsorted sample; sorts a
+/// copy. Empty input returns 0.
+double quantile(std::vector<double> sample, double q);
+
+/// Apply one preconditioner to a batch of right-hand sides: columns of
+/// `b` are solved into columns of `x` via the batched DenseRhsBlock
+/// overloads when the factor supports them, column-by-column otherwise.
+/// Column c equals the single-RHS apply of column c bit-for-bit for
+/// scalar factors (the batched-kernel contract), within tolerance for
+/// blocked factors.
+void apply_batch(const Preconditioner& factor, const DenseRhsBlock& b, DenseRhsBlock& x);
+
+}  // namespace ptilu::serve

@@ -1,0 +1,42 @@
+// Seeded synthetic request traffic for the serving bench and tests.
+//
+// A serving benchmark needs an arrival process, but library code may not
+// read the wall clock or an OS entropy source (the determinism-banned-calls
+// lint rule): arrival times here are MODELED seconds on the same axis as
+// the simulator's modeled clock, drawn from a seeded xoshiro256** stream.
+// The same (options, seed) always yields the same schedule, byte-for-byte,
+// on every backend — which is what makes the bench's payload checksum
+// reproducible and lets CI diff two runs' JSON outputs directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ptilu/support/types.hpp"
+
+namespace ptilu::serve {
+
+/// One solve request: when it arrives (modeled seconds from schedule
+/// start) and the seed its right-hand side is generated from.
+struct Request {
+  double arrival_s = 0.0;
+  std::uint64_t rhs_seed = 0;
+};
+
+struct TrafficOptions {
+  int requests = 64;               ///< number of requests to generate
+  double mean_interarrival_s = 1e-3;  ///< Poisson-process mean gap
+  std::uint64_t seed = 1;          ///< RNG seed for gaps and rhs seeds
+};
+
+/// Generate the arrival schedule: exponential(mean) inter-arrival gaps
+/// accumulated from t=0 (a Poisson process), each request carrying a
+/// distinct sub-seed for its right-hand side. Arrival times are strictly
+/// increasing. Deterministic in opts.
+std::vector<Request> make_schedule(const TrafficOptions& opts);
+
+/// The dense right-hand side for a request: n uniform values in [-1, 1)
+/// from the request's sub-seed. Deterministic in (n, seed).
+RealVec make_rhs(idx n, std::uint64_t seed);
+
+}  // namespace ptilu::serve

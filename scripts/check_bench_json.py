@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
 """Validate — and optionally compare — bench JSON files.
 
-Two schema families are understood, dispatched on the file's "schema":
+Three schema families are understood, dispatched on the file's "schema":
 
   * ptilu-bench-wallclock-v1/v2/v3/v4 — bench_wallclock output (host seconds);
   * ptilu-bench-scale-v1 — bench_scale output (modeled strong/weak scaling
-    sweeps; see docs/SCALING.md).
+    sweeps; see docs/SCALING.md);
+  * ptilu-bench-serve-v1 — bench_serve output (the preconditioner-serving
+    harness: batched-apply queueing benches, concurrent GMRES streams, and
+    batched distributed trisolves; see docs/SERVING.md).
 
 bench_scale validation: top level carries "workload", the execution
 backend, and a "sweeps" list; every sweep has a mode in {strong, weak} and
@@ -16,6 +19,24 @@ modeled clock); "speedup" (strong) and "efficiency" (both modes) are
 recomputed from the sweep's first point and must match. Comparison mode is
 wallclock-only — modeled scale numbers are deterministic, so two runs of
 the same binary are byte-identical and a speedup ratio is meaningless.
+
+bench_serve validation: top level carries the execution backend, boolean
+"smoke"/"quick"/"exact", the workload with positive n/nnz, positive
+"requests", the traffic "seed" and "mean_interarrival_s", a "cache"
+object whose hit/miss/eviction counters are non-negative, and a 16-hex
+"payload_checksum" over the deterministic fields (identical across
+backends by contract). Every apply bench must satisfy the queueing
+identities: ceil(requests / batch_max) <= batches <= requests, p50 <= p99
+(modeled always, wall when present), and solves-per-second must equal
+requests / total seconds as recorded. Files written with --exact omit
+every wall_* field, so two such files are byte-comparable across runs and
+backends. serve-vs-serve comparison pairs apply benches by name, requires
+matching payload checksums (same deterministic plan, or the wall ratio is
+meaningless), and reports the wall-throughput ratio; --exact files have no
+wall data and are refused.
+
+Cross-family --compare (wallclock vs scale vs serve, in any order) is
+always refused: the numbers live on different axes.
 
 bench_wallclock validation checks (stdlib only, no third-party dependencies):
   * the file is valid JSON with "schema": "ptilu-bench-wallclock-v2",
@@ -80,6 +101,7 @@ import sys
 SCHEMAS = {"ptilu-bench-wallclock-v1", "ptilu-bench-wallclock-v2",
            "ptilu-bench-wallclock-v3", "ptilu-bench-wallclock-v4"}
 SCALE_SCHEMA = "ptilu-bench-scale-v1"
+SERVE_SCHEMA = "ptilu-bench-serve-v1"
 # v2 added the execution backend; v3 added optional per-bench
 # report_checksum; v4 added the top-level kernel variant.
 SCHEMAS_WITH_BACKEND = {"ptilu-bench-wallclock-v2", "ptilu-bench-wallclock-v3",
@@ -182,6 +204,245 @@ def validate_scale(doc, path, errors):
                     errors.append(f"{pwhere}: 'efficiency' is {got!r}, recomputed {ratio!r}")
 
 
+def _schema_family(doc):
+    schema = doc.get("schema")
+    if schema == SCALE_SCHEMA:
+        return "scale"
+    if schema == SERVE_SCHEMA:
+        return "serve"
+    return "wallclock"
+
+
+def _is_hex16(value):
+    return (isinstance(value, str) and len(value) == 16
+            and all(c in "0123456789abcdef" for c in value))
+
+
+def _check_rate(where, doc_part, count, total_key, rate_key, errors):
+    """solves-per-second fields must be recomputable from count / total."""
+    total = doc_part.get(total_key)
+    rate = doc_part.get(rate_key)
+    if not isinstance(total, (int, float)) or total <= 0:
+        errors.append(f"{where}: '{total_key}' must be a positive number")
+        return
+    if not isinstance(rate, (int, float)):
+        errors.append(f"{where}: missing numeric '{rate_key}'")
+        return
+    # Wall fields are printed with %.6f, so both the total and the rate carry
+    # up to 5e-7 of absolute rounding; bound the recomputed rate accordingly.
+    half_ulp = 5e-7
+    lo = count / (total + half_ulp) - half_ulp
+    hi = count / max(total - half_ulp, 1e-12) + half_ulp
+    if not lo <= rate <= hi:
+        errors.append(
+            f"{where}: '{rate_key}' is {rate!r}, but {count} / {total!r} "
+            f"seconds allows only [{lo:.6g}, {hi:.6g}]")
+
+
+def _check_quantiles(where, doc_part, p50_key, p99_key, errors):
+    p50, p99 = doc_part.get(p50_key), doc_part.get(p99_key)
+    for key, value in ((p50_key, p50), (p99_key, p99)):
+        if not isinstance(value, (int, float)) or value < 0:
+            errors.append(f"{where}: '{key}' must be a non-negative number")
+            return
+    if p50 > p99:
+        errors.append(f"{where}: '{p50_key}' ({p50!r}) exceeds '{p99_key}' ({p99!r})")
+
+
+def validate_serve(doc, path, errors):
+    """Append ptilu-bench-serve-v1 violations for doc to errors."""
+    if doc.get("backend") not in BACKENDS:
+        errors.append(
+            f"{path}: 'backend' is {doc.get('backend')!r}, want one of {sorted(BACKENDS)}")
+    if not isinstance(doc.get("threads"), int) or doc.get("threads") < 0:
+        errors.append(f"{path}: 'threads' must be a non-negative int")
+    for key in ("smoke", "quick", "exact"):
+        if not isinstance(doc.get(key), bool):
+            errors.append(f"{path}: missing boolean '{key}'")
+    if not isinstance(doc.get("workload"), str) or not doc.get("workload"):
+        errors.append(f"{path}: missing 'workload'")
+    for key in ("n", "nnz", "requests"):
+        if not isinstance(doc.get(key), int) or doc.get(key) <= 0:
+            errors.append(f"{path}: '{key}' must be a positive int")
+    if not isinstance(doc.get("seed"), int) or doc.get("seed") < 0:
+        errors.append(f"{path}: 'seed' must be a non-negative int")
+    mean = doc.get("mean_interarrival_s")
+    if not isinstance(mean, (int, float)) or mean <= 0:
+        errors.append(f"{path}: 'mean_interarrival_s' must be a positive number")
+    cache = doc.get("cache")
+    if not isinstance(cache, dict):
+        errors.append(f"{path}: missing 'cache' object")
+    else:
+        if not isinstance(cache.get("capacity"), int) or cache.get("capacity") < 1:
+            errors.append(f"{path}: cache 'capacity' must be a positive int")
+        for key in ("hits", "misses", "evictions"):
+            if not isinstance(cache.get(key), int) or cache.get(key) < 0:
+                errors.append(f"{path}: cache '{key}' must be a non-negative int")
+    if not _is_hex16(doc.get("payload_checksum")):
+        errors.append(
+            f"{path}: 'payload_checksum' must be 16 lowercase hex digits, "
+            f"got {doc.get('payload_checksum')!r}")
+    exact = doc.get("exact") is True
+    requests = doc.get("requests") if isinstance(doc.get("requests"), int) else None
+
+    benches = doc.get("apply_benches")
+    if not isinstance(benches, list) or not benches:
+        errors.append(f"{path}: 'apply_benches' must be a non-empty list")
+        benches = []
+    seen = set()
+    for i, bench in enumerate(benches):
+        where = f"{path}: apply_benches[{i}]"
+        if not isinstance(bench, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = bench.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing name")
+        elif name in seen:
+            errors.append(f"{where}: duplicate name {name!r}")
+        else:
+            seen.add(name)
+        batch_max = bench.get("batch_max")
+        if not isinstance(batch_max, int) or batch_max < 1:
+            errors.append(f"{where}: 'batch_max' must be a positive int")
+            batch_max = None
+        batches = bench.get("batches")
+        if not isinstance(batches, int) or batches < 1:
+            errors.append(f"{where}: 'batches' must be a positive int")
+        elif requests is not None and batch_max is not None:
+            # A FIFO server at cap k needs at least ceil(requests/k) batches
+            # and never more than one batch per request.
+            least = -(-requests // batch_max)
+            if not least <= batches <= requests:
+                errors.append(
+                    f"{where}: 'batches' is {batches}, queueing bounds say "
+                    f"[{least}, {requests}]")
+        if not isinstance(bench.get("checksum"), (int, float)):
+            errors.append(f"{where}: missing numeric checksum")
+        if requests is not None:
+            _check_rate(where, bench, requests, "modeled_total_s",
+                        "modeled_solves_per_s", errors)
+        _check_quantiles(where, bench, "modeled_p50_s", "modeled_p99_s", errors)
+        wall_keys = [k for k in bench if k.startswith("wall_")]
+        if exact and wall_keys:
+            errors.append(
+                f"{where}: --exact files must omit wall fields, found {sorted(wall_keys)}")
+        elif not exact and wall_keys:
+            if requests is not None:
+                _check_rate(where, bench, requests, "wall_total_s",
+                            "wall_solves_per_s", errors)
+            _check_quantiles(where, bench, "wall_p50_s", "wall_p99_s", errors)
+
+    streams = doc.get("stream_benches")
+    if not isinstance(streams, list) or not streams:
+        errors.append(f"{path}: 'stream_benches' must be a non-empty list")
+        streams = []
+    for i, bench in enumerate(streams):
+        where = f"{path}: stream_benches[{i}]"
+        if not isinstance(bench, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("streams", "solves"):
+            if not isinstance(bench.get(key), int) or bench.get(key) < 1:
+                errors.append(f"{where}: '{key}' must be a positive int")
+        matvecs = bench.get("matvecs")
+        if not isinstance(matvecs, int) or matvecs < 0:
+            errors.append(f"{where}: 'matvecs' must be a non-negative int")
+        elif isinstance(bench.get("solves"), int) and matvecs < bench["solves"]:
+            errors.append(
+                f"{where}: {matvecs} matvecs for {bench['solves']} solves — "
+                f"every GMRES solve costs at least one matvec")
+        if not isinstance(bench.get("checksum"), (int, float)):
+            errors.append(f"{where}: missing numeric checksum")
+        wall_keys = [k for k in bench if k.startswith("wall_")]
+        if exact and wall_keys:
+            errors.append(
+                f"{where}: --exact files must omit wall fields, found {sorted(wall_keys)}")
+        elif not exact and wall_keys and isinstance(bench.get("solves"), int):
+            _check_rate(where, bench, bench["solves"], "wall_total_s",
+                        "wall_solves_per_s", errors)
+
+    dists = doc.get("dist_benches")
+    if not isinstance(dists, list) or not dists:
+        errors.append(f"{path}: 'dist_benches' must be a non-empty list")
+        dists = []
+    for i, bench in enumerate(dists):
+        where = f"{path}: dist_benches[{i}]"
+        if not isinstance(bench, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("procs", "k"):
+            if not isinstance(bench.get(key), int) or bench.get(key) < 1:
+                errors.append(f"{where}: '{key}' must be a positive int")
+        batched = bench.get("modeled_batched_s")
+        single = bench.get("modeled_single_s")
+        speedup = bench.get("modeled_speedup")
+        ok = True
+        for key, value in (("modeled_batched_s", batched), ("modeled_single_s", single)):
+            if not isinstance(value, (int, float)) or value <= 0:
+                errors.append(f"{where}: '{key}' must be a positive number")
+                ok = False
+        if ok:
+            if not isinstance(speedup, (int, float)):
+                errors.append(f"{where}: missing numeric 'modeled_speedup'")
+            else:
+                want = single / batched
+                if abs(speedup - want) > 1e-9 * max(1.0, abs(want)):
+                    errors.append(
+                        f"{where}: 'modeled_speedup' is {speedup!r}, recomputed {want!r}")
+        for key in ("batched_messages", "single_messages"):
+            if not isinstance(bench.get(key), int) or bench.get(key) < 0:
+                errors.append(f"{where}: '{key}' must be a non-negative int")
+        if (isinstance(bench.get("batched_messages"), int)
+                and isinstance(bench.get("single_messages"), int)
+                and bench["batched_messages"] > bench["single_messages"]):
+            errors.append(
+                f"{where}: batched sweep sent more messages "
+                f"({bench['batched_messages']}) than the single-RHS solves "
+                f"({bench['single_messages']}) — batching must amortize, not add")
+        if not isinstance(bench.get("checksum"), (int, float)):
+            errors.append(f"{where}: missing numeric checksum")
+
+
+def compare_serve(baseline, current, args, errors):
+    """serve-vs-serve: wall throughput ratio over matching deterministic plans."""
+    base_backend = baseline.get("backend", "sequential")
+    cur_backend = current.get("backend", "sequential")
+    if base_backend != cur_backend and not args.allow_backend_mismatch:
+        errors.append(
+            f"execution backend mismatch (baseline {base_backend!r}, current "
+            f"{cur_backend!r}): the throughput ratio would measure the backend, "
+            f"not the change under test — pass --allow-backend-mismatch if that "
+            f"is intended")
+        return
+    if baseline.get("payload_checksum") != current.get("payload_checksum"):
+        errors.append(
+            f"payload_checksum mismatch (baseline "
+            f"{baseline.get('payload_checksum')!r}, current "
+            f"{current.get('payload_checksum')!r}): the runs planned different "
+            f"batches, so their wall throughput is not comparable")
+        return
+    if baseline.get("exact") or current.get("exact"):
+        errors.append("--exact serve files carry no wall data to compare")
+        return
+    base_by_name = {b["name"]: b for b in baseline["apply_benches"]}
+    rows = []
+    for bench in current["apply_benches"]:
+        base = base_by_name.get(bench["name"])
+        if base is None:
+            print(f"note: bench {bench['name']!r} has no baseline entry, skipped")
+            continue
+        ratio = bench["wall_solves_per_s"] / base["wall_solves_per_s"]
+        rows.append((bench["name"], base["wall_solves_per_s"],
+                     bench["wall_solves_per_s"], ratio))
+    if not rows:
+        errors.append("no comparable apply benches between the two files")
+        return
+    print(f"{'bench':<20} {'baseline':>12} {'current':>12} {'ratio':>8}")
+    for name, base_rate, cur_rate, ratio in rows:
+        print(f"{name:<20} {base_rate:>10.1f}/s {cur_rate:>10.1f}/s {ratio:>7.2f}x")
+
+
 def validate(doc, path, errors):
     """Append schema violations for doc to errors."""
     if not isinstance(doc, dict):
@@ -190,10 +451,13 @@ def validate(doc, path, errors):
     if doc.get("schema") == SCALE_SCHEMA:
         validate_scale(doc, path, errors)
         return
+    if doc.get("schema") == SERVE_SCHEMA:
+        validate_serve(doc, path, errors)
+        return
     if doc.get("schema") not in SCHEMAS:
         errors.append(
             f"{path}: schema is {doc.get('schema')!r}, want one of "
-            f"{sorted(SCHEMAS | {SCALE_SCHEMA})}")
+            f"{sorted(SCHEMAS | {SCALE_SCHEMA, SERVE_SCHEMA})}")
     if doc.get("schema") in SCHEMAS_WITH_BACKEND:
         if doc.get("backend") not in BACKENDS:
             errors.append(
@@ -383,10 +647,18 @@ def main() -> int:
         if doc is not None:
             validate(doc, path, errors)
     if not errors and args.compare:
-        if any(doc.get("schema") == SCALE_SCHEMA for doc in docs):
+        families = [_schema_family(doc) for doc in docs]
+        if families[0] != families[1]:
             errors.append(
-                "--compare supports wallclock files only: bench_scale output is "
-                "deterministic modeled time, so a run-over-run ratio is meaningless")
+                f"--compare refuses cross-family files ({families[0]} vs "
+                f"{families[1]}): their metrics measure different things")
+        elif families[0] == "scale":
+            errors.append(
+                "--compare supports wallclock and serve files only: bench_scale "
+                "output is deterministic modeled time, so a run-over-run ratio "
+                "is meaningless")
+        elif families[0] == "serve":
+            compare_serve(docs[0], docs[1], args, errors)
         else:
             compare(docs[0], docs[1], args, errors)
 
@@ -402,6 +674,12 @@ def main() -> int:
             print(f"OK: {args.files[0]}: {len(doc['sweeps'])} sweeps, "
                   f"{npoints} points, workload {doc['workload']}, "
                   f"backend {doc['backend']}")
+        elif doc.get("schema") == SERVE_SCHEMA:
+            print(f"OK: {args.files[0]}: {len(doc['apply_benches'])} apply benches, "
+                  f"{len(doc['stream_benches'])} stream benches, "
+                  f"{len(doc['dist_benches'])} dist benches, "
+                  f"{doc['requests']} requests, backend {doc['backend']}, "
+                  f"exact={str(doc['exact']).lower()}")
         else:
             print(f"OK: {args.files[0]}: {len(doc['benches'])} benches, "
                   f"{doc['repetitions']} repetitions, "

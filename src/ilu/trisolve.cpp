@@ -105,4 +105,164 @@ void ilu_apply(const BlockedFactors& f, std::span<const real> b, std::span<real>
   backward_solve(f, y, x);
 }
 
+namespace {
+
+/// Batched solves process columns in register-resident groups of up to 8.
+constexpr int kMaxRhsGroup = 8;
+
+/// Largest power-of-two group width <= remaining columns (8, 4, 2, 1) — the
+/// widths the rhs kernels instantiate. Grouping cannot affect results:
+/// columns are arithmetically independent, so any grouping yields the same
+/// per-column accumulation order.
+int rhs_group(int remaining) {
+  if (remaining >= 8) return 8;
+  if (remaining >= 4) return 4;
+  if (remaining >= 2) return 2;
+  return 1;
+}
+
+void check_block_shapes(idx n, const DenseRhsBlock& in, const DenseRhsBlock& out,
+                        const char* what) {
+  PTILU_CHECK(in.n == n && out.n == n && in.k == out.k && in.k >= 1,
+              what << " block shape mismatch (n=" << n << ", in " << in.n << "x"
+                   << in.k << ", out " << out.n << "x" << out.k << ")");
+}
+
+}  // namespace
+
+void forward_solve(const Csr& l, const DenseRhsBlock& b, DenseRhsBlock& y) {
+  const idx n = l.n_rows;
+  check_block_shapes(n, b, y, "forward_solve");
+  const std::size_t stride = static_cast<std::size_t>(n);
+  real acc[kMaxRhsGroup];
+  for (int c0 = 0; c0 < b.k;) {
+    const int kc = rhs_group(b.k - c0);
+    const real* bcol = b.data.data() + static_cast<std::size_t>(c0) * stride;
+    real* ycol = y.data.data() + static_cast<std::size_t>(c0) * stride;
+    for (idx i = 0; i < n; ++i) {
+      for (int c = 0; c < kc; ++c) acc[c] = bcol[c * stride + static_cast<std::size_t>(i)];
+      for (nnz_t k = l.row_ptr[i]; k < l.row_ptr[i + 1]; ++k) {
+        rhs_axpy_any(kc, acc, l.values[k], ycol + l.col_idx[k], stride);
+      }
+      for (int c = 0; c < kc; ++c) ycol[c * stride + static_cast<std::size_t>(i)] = acc[c];
+    }
+    c0 += kc;
+  }
+}
+
+void backward_solve(const Csr& u, const DenseRhsBlock& y, DenseRhsBlock& x) {
+  const idx n = u.n_rows;
+  check_block_shapes(n, y, x, "backward_solve");
+  const std::size_t stride = static_cast<std::size_t>(n);
+  real acc[kMaxRhsGroup];
+  for (int c0 = 0; c0 < y.k;) {
+    const int kc = rhs_group(y.k - c0);
+    const real* ycol = y.data.data() + static_cast<std::size_t>(c0) * stride;
+    real* xcol = x.data.data() + static_cast<std::size_t>(c0) * stride;
+    for (idx i = n - 1; i >= 0; --i) {
+      const nnz_t start = u.row_ptr[i];
+      PTILU_ASSERT(u.col_idx[start] == i, "U row must start with the diagonal");
+      for (int c = 0; c < kc; ++c) acc[c] = ycol[c * stride + static_cast<std::size_t>(i)];
+      for (nnz_t k = start + 1; k < u.row_ptr[i + 1]; ++k) {
+        rhs_axpy_any(kc, acc, u.values[k], xcol + u.col_idx[k], stride);
+      }
+      const real pivot = u.values[start];
+      for (int c = 0; c < kc; ++c) {
+        xcol[c * stride + static_cast<std::size_t>(i)] = acc[c] / pivot;
+      }
+    }
+    c0 += kc;
+  }
+}
+
+void ilu_apply(const IluFactors& factors, const DenseRhsBlock& b, DenseRhsBlock& x) {
+  DenseRhsBlock y(factors.n(), b.k);
+  forward_solve(factors.l, b, y);
+  backward_solve(factors.u, y, x);
+}
+
+void forward_solve(const BlockedFactors& f, const DenseRhsBlock& b, DenseRhsBlock& y) {
+  check_block_shapes(f.n, b, y, "forward_solve");
+  const std::size_t stride = static_cast<std::size_t>(f.n);
+  real acc[64 * kMaxRhsGroup];  // kc column-major nb-tiles; nb capped at 64
+  for (int c0 = 0; c0 < b.k;) {
+    const int kc = rhs_group(b.k - c0);
+    const real* bcol = b.data.data() + static_cast<std::size_t>(c0) * stride;
+    real* ycol = y.data.data() + static_cast<std::size_t>(c0) * stride;
+    for (idx p = 0; p < f.n_panels(); ++p) {
+      const idx r0 = f.panel_start[p];
+      const int nb = f.width(p);
+      PTILU_ASSERT(nb <= 64, "panel width exceeds the solve accumulator");
+      for (int c = 0; c < kc; ++c) {
+        for (int j = 0; j < nb; ++j) {
+          acc[c * nb + j] = bcol[c * stride + static_cast<std::size_t>(r0 + j)];
+        }
+      }
+      const IdxVec& cols = f.lcols[p];
+      const RealVec& vals = f.lvals[p];
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        tile_axpy_rhs_any(nb, kc, acc, vals.data() + k * static_cast<std::size_t>(nb),
+                          ycol + cols[k], stride);
+      }
+      const real* diag = f.diag[p].data();
+      for (int c = 0; c < kc; ++c) {
+        real* a = acc + c * nb;
+        for (int j = 0; j < nb; ++j) {
+          real v = a[j];
+          for (int jp = 0; jp < j; ++jp) v -= diag[j * nb + jp] * a[jp];
+          a[j] = v;
+          ycol[c * stride + static_cast<std::size_t>(r0 + j)] = v;
+        }
+      }
+    }
+    c0 += kc;
+  }
+}
+
+void backward_solve(const BlockedFactors& f, const DenseRhsBlock& y, DenseRhsBlock& x) {
+  check_block_shapes(f.n, y, x, "backward_solve");
+  const std::size_t stride = static_cast<std::size_t>(f.n);
+  real acc[64 * kMaxRhsGroup];
+  for (int c0 = 0; c0 < y.k;) {
+    const int kc = rhs_group(y.k - c0);
+    const real* ycol = y.data.data() + static_cast<std::size_t>(c0) * stride;
+    real* xcol = x.data.data() + static_cast<std::size_t>(c0) * stride;
+    for (idx p = f.n_panels() - 1; p >= 0; --p) {
+      const idx r0 = f.panel_start[p];
+      const int nb = f.width(p);
+      PTILU_ASSERT(nb <= 64, "panel width exceeds the solve accumulator");
+      for (int c = 0; c < kc; ++c) {
+        for (int j = 0; j < nb; ++j) {
+          acc[c * nb + j] = ycol[c * stride + static_cast<std::size_t>(r0 + j)];
+        }
+      }
+      const IdxVec& cols = f.ucols[p];
+      const RealVec& vals = f.uvals[p];
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        tile_axpy_rhs_any(nb, kc, acc, vals.data() + k * static_cast<std::size_t>(nb),
+                          xcol + cols[k], stride);
+      }
+      const real* diag = f.diag[p].data();
+      for (int c = 0; c < kc; ++c) {
+        real* a = acc + c * nb;
+        real* xc = xcol + c * stride;
+        for (int j = nb - 1; j >= 0; --j) {
+          real v = a[j];
+          for (int jj = j + 1; jj < nb; ++jj) {
+            v -= diag[j * nb + jj] * xc[static_cast<std::size_t>(r0 + jj)];
+          }
+          xc[static_cast<std::size_t>(r0 + j)] = v / diag[j * nb + j];
+        }
+      }
+    }
+    c0 += kc;
+  }
+}
+
+void ilu_apply(const BlockedFactors& f, const DenseRhsBlock& b, DenseRhsBlock& x) {
+  DenseRhsBlock y(f.n, b.k);
+  forward_solve(f, b, y);
+  backward_solve(f, y, x);
+}
+
 }  // namespace ptilu

@@ -63,15 +63,26 @@ class DistBlas {
 GmresResult gmres_dist(sim::Machine& machine, const DistCsr& dist, const Halo& halo,
                        const PilutResult& factorization, std::span<const real> b,
                        std::span<real> x, const GmresOptions& opts) {
+  // The solver build is host-side setup with no machine interaction, so
+  // delegating through the shared-solver overload is bit-identical to the
+  // historical inline construction.
+  const DistTriangularSolver solver(factorization.factors, factorization.schedule);
+  return gmres_dist(machine, dist, halo, solver, b, x, opts);
+}
+
+GmresResult gmres_dist(sim::Machine& machine, const DistCsr& dist, const Halo& halo,
+                       const DistTriangularSolver& solver, std::span<const real> b,
+                       std::span<real> x, const GmresOptions& opts) {
   const idx n = dist.n();
   PTILU_CHECK(machine.nranks() == dist.nranks, "machine/partition rank mismatch");
   PTILU_CHECK(b.size() == static_cast<std::size_t>(n) && x.size() == b.size(),
               "gmres_dist vector size mismatch");
   PTILU_CHECK(opts.restart >= 1 && opts.rtol > 0.0, "invalid GMRES options");
+  PTILU_CHECK(solver.schedule().newnum.size() == static_cast<std::size_t>(n),
+              "solver/matrix size mismatch");
   machine.reset();
 
-  const DistTriangularSolver solver(factorization.factors, factorization.schedule);
-  const IdxVec& newnum = factorization.schedule.newnum;
+  const IdxVec& newnum = solver.schedule().newnum;
   const DistBlas blas(machine, dist);
   const int krylov = opts.restart;
   sim::ScopedPhase solve_phase(machine, "gmres");

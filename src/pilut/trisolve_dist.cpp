@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "ptilu/ilu/block_kernels.hpp"
 #include "ptilu/sim/trace.hpp"
 #include "ptilu/support/check.hpp"
 
@@ -56,6 +57,61 @@ void drain_ghosts(sim::RankContext& ctx, std::unordered_map<idx, real>& ghost) {
   PTILU_CHECK(pending_idx.size() == pending_val.size(), "ghost batch mismatch");
   for (std::size_t k = 0; k < pending_idx.size(); ++k) {
     ghost[pending_idx[k]] = pending_val[k];
+  }
+}
+
+/// Ghost store for the batched solves: keyed offsets into k-strided value
+/// storage. Like the scalar ghost maps, `pos` is keyed-lookup-only — never
+/// iterated — so hash order cannot leak into modeled output.
+struct BlockGhost {
+  std::unordered_map<idx, std::size_t> pos;
+  RealVec vals;
+};
+
+/// Batched counterpart of ship_values: the per-peer message carries the k
+/// values of every computed index contiguously, so a level costs one
+/// (idx, val) message pair per peer regardless of the batch width — the
+/// alpha amortization the batched solve exists for.
+void ship_values_block(sim::RankContext& ctx, const IdxVec& computed,
+                       const DenseRhsBlock& x,
+                       const std::vector<std::vector<int>>& consumers) {
+  std::map<int, std::pair<IdxVec, RealVec>> batches;
+  for (const idx i : computed) {
+    for (const int peer : consumers[i]) {
+      auto& batch = batches[peer];
+      batch.first.push_back(i);
+      for (int c = 0; c < x.k; ++c) batch.second.push_back(x.at(i, c));
+    }
+  }
+  for (auto& [peer, batch] : batches) {
+    // Both call sites of this helper sit inside the solver's per-level
+    // ScopedPhase; the phase is inherited lexically by the caller, not here.
+    // ptilu-lint: allow(spmd-phase-coverage)
+    ctx.send_indices(peer, kTagIdx, batch.first);
+    ctx.send_reals(peer, kTagVal, batch.second);  // ptilu-lint: allow(spmd-phase-coverage)
+  }
+}
+
+/// Drain the level's inbound batched messages into the rank's ghost store.
+void drain_ghosts_block(sim::RankContext& ctx, BlockGhost& ghost, int k) {
+  IdxVec pending_idx;
+  RealVec pending_val;
+  // Called only from the solver's per-level ScopedPhase (phase inherited
+  // from the caller). ptilu-lint: allow(spmd-phase-coverage)
+  for (const sim::Message& msg : ctx.recv_all()) {
+    if (msg.tag == kTagIdx) {
+      sim::decode_indices_append(msg, pending_idx);
+    } else {
+      PTILU_CHECK(msg.tag == kTagVal, "unexpected message in triangular solve");
+      sim::decode_reals_append(msg, pending_val);
+    }
+  }
+  PTILU_CHECK(pending_val.size() == pending_idx.size() * static_cast<std::size_t>(k),
+              "ghost batch mismatch");
+  for (std::size_t t = 0; t < pending_idx.size(); ++t) {
+    const std::size_t off = ghost.vals.size();
+    for (int c = 0; c < k; ++c) ghost.vals.push_back(pending_val[t * k + c]);
+    ghost.pos.insert_or_assign(pending_idx[t], off);
   }
 }
 
@@ -235,6 +291,170 @@ void DistTriangularSolver::backward(sim::Machine& machine, const RealVec& yin,
 void DistTriangularSolver::apply(sim::Machine& machine, const RealVec& b,
                                  RealVec& x) const {
   RealVec y(b.size());
+  forward(machine, b, y);
+  backward(machine, y, x);
+}
+
+// ---- Batched multi-RHS solves ------------------------------------------
+//
+// Structurally the same interior + level supersteps as the scalar solves
+// above (same phases, same superstep count), but every row carries its k
+// columns through one sweep and every per-peer level message ships k
+// values per index instead of one. Per column the accumulation order is
+// exactly the scalar solve's, so column c of the result is bit-identical
+// to a single-RHS solve of column c. The scalar paths stay untouched —
+// they are pinned bit-exact by the existing differential suites.
+
+void DistTriangularSolver::forward(sim::Machine& machine, const DenseRhsBlock& b,
+                                   DenseRhsBlock& y) const {
+  const PilutSchedule& sched = *schedule_;
+  const Csr& l = factors_->l;
+  PTILU_CHECK(b.n == l.n_rows && y.n == b.n && b.k == y.k && b.k >= 1,
+              "batched forward block shape mismatch");
+  const int k = b.k;
+  const std::size_t stride = static_cast<std::size_t>(b.n);
+  std::vector<BlockGhost> ghost(sched.nranks);
+  sim::ScopedPhase solve_phase(machine, "trisolve/forward");
+
+  {
+  sim::ScopedPhase span(machine, "interior");
+  machine.step([&](sim::RankContext& ctx) {
+    const int r = ctx.rank();
+    const auto [begin, end] = sched.interior_range[r];
+    std::uint64_t flops = 0;
+    IdxVec computed;
+    RealVec acc(static_cast<std::size_t>(k));
+    for (idx i = begin; i < end; ++i) {
+      for (int c = 0; c < k; ++c) acc[static_cast<std::size_t>(c)] = b.at(i, c);
+      for (nnz_t kk = l.row_ptr[i]; kk < l.row_ptr[i + 1]; ++kk) {
+        rhs_axpy_any(k, acc.data(), l.values[kk], y.data.data() + l.col_idx[kk],
+                     stride);
+      }
+      flops += 2 * static_cast<std::uint64_t>(l.row_nnz(i)) *
+               static_cast<std::uint64_t>(k);
+      for (int c = 0; c < k; ++c) y.at(i, c) = acc[static_cast<std::size_t>(c)];
+      if (!consumers_fwd_[i].empty()) computed.push_back(i);
+    }
+    ctx.charge_flops(flops);
+    ship_values_block(ctx, computed, y, consumers_fwd_);
+  }, "trisolve/fwd/interior");
+  }
+
+  sim::ScopedPhase levels_span(machine, "levels");
+  for (int level = 0; level < levels(); ++level) {
+    machine.step([&](sim::RankContext& ctx) {
+      const int r = ctx.rank();
+      drain_ghosts_block(ctx, ghost[r], k);
+      std::uint64_t flops = 0;
+      RealVec acc(static_cast<std::size_t>(k));
+      const IdxVec& rows = rows_of_level_[level][r];
+      for (const idx i : rows) {
+        for (int c = 0; c < k; ++c) acc[static_cast<std::size_t>(c)] = b.at(i, c);
+        for (nnz_t kk = l.row_ptr[i]; kk < l.row_ptr[i + 1]; ++kk) {
+          const idx j = l.col_idx[kk];
+          if (sched.owner_new[j] == r) {
+            rhs_axpy_any(k, acc.data(), l.values[kk], y.data.data() + j, stride);
+          } else {
+            rhs_axpy_any(k, acc.data(), l.values[kk],
+                         ghost[r].vals.data() + ghost[r].pos.at(j), 1);
+          }
+        }
+        flops += 2 * static_cast<std::uint64_t>(l.row_nnz(i)) *
+                 static_cast<std::uint64_t>(k);
+        for (int c = 0; c < k; ++c) y.at(i, c) = acc[static_cast<std::size_t>(c)];
+      }
+      ctx.charge_flops(flops);
+      ship_values_block(ctx, rows, y, consumers_fwd_);
+    }, "trisolve/fwd/level");
+  }
+  machine.step([&](sim::RankContext& ctx) { (void)ctx.recv_all(); },
+               "trisolve/fwd/drain");
+  machine.check_quiescent("trisolve/fwd/end");
+}
+
+void DistTriangularSolver::backward(sim::Machine& machine, const DenseRhsBlock& yin,
+                                    DenseRhsBlock& x) const {
+  const PilutSchedule& sched = *schedule_;
+  const Csr& u = factors_->u;
+  PTILU_CHECK(yin.n == u.n_rows && x.n == yin.n && yin.k == x.k && yin.k >= 1,
+              "batched backward block shape mismatch");
+  const int k = yin.k;
+  const std::size_t stride = static_cast<std::size_t>(yin.n);
+  std::vector<BlockGhost> ghost(sched.nranks);
+  sim::ScopedPhase solve_phase(machine, "trisolve/backward");
+
+  {
+  sim::ScopedPhase span(machine, "levels");
+  for (int level = levels() - 1; level >= 0; --level) {
+    machine.step([&](sim::RankContext& ctx) {
+      const int r = ctx.rank();
+      drain_ghosts_block(ctx, ghost[r], k);
+      std::uint64_t flops = 0;
+      RealVec acc(static_cast<std::size_t>(k));
+      const IdxVec& rows = rows_of_level_[level][r];
+      // Descending order within the level, as in the scalar solve.
+      for (auto it = rows.rbegin(); it != rows.rend(); ++it) {
+        const idx i = *it;
+        const nnz_t start = u.row_ptr[i];
+        for (int c = 0; c < k; ++c) acc[static_cast<std::size_t>(c)] = yin.at(i, c);
+        for (nnz_t kk = start + 1; kk < u.row_ptr[i + 1]; ++kk) {
+          const idx j = u.col_idx[kk];
+          if (sched.owner_new[j] == r) {
+            rhs_axpy_any(k, acc.data(), u.values[kk], x.data.data() + j, stride);
+          } else {
+            rhs_axpy_any(k, acc.data(), u.values[kk],
+                         ghost[r].vals.data() + ghost[r].pos.at(j), 1);
+          }
+        }
+        flops += (2 * static_cast<std::uint64_t>(u.row_nnz(i)) + 1) *
+                 static_cast<std::uint64_t>(k);
+        const real pivot = u.values[start];
+        for (int c = 0; c < k; ++c) {
+          x.at(i, c) = acc[static_cast<std::size_t>(c)] / pivot;
+        }
+      }
+      ctx.charge_flops(flops);
+      ship_values_block(ctx, rows, x, consumers_bwd_);
+    }, "trisolve/bwd/level");
+  }
+  }
+
+  {
+  sim::ScopedPhase span(machine, "interior");
+  machine.step([&](sim::RankContext& ctx) {
+    const int r = ctx.rank();
+    drain_ghosts_block(ctx, ghost[r], k);
+    const auto [begin, end] = sched.interior_range[r];
+    std::uint64_t flops = 0;
+    RealVec acc(static_cast<std::size_t>(k));
+    for (idx i = end - 1; i >= begin; --i) {
+      const nnz_t start = u.row_ptr[i];
+      for (int c = 0; c < k; ++c) acc[static_cast<std::size_t>(c)] = yin.at(i, c);
+      for (nnz_t kk = start + 1; kk < u.row_ptr[i + 1]; ++kk) {
+        const idx j = u.col_idx[kk];
+        if (sched.owner_new[j] == r) {
+          rhs_axpy_any(k, acc.data(), u.values[kk], x.data.data() + j, stride);
+        } else {
+          rhs_axpy_any(k, acc.data(), u.values[kk],
+                       ghost[r].vals.data() + ghost[r].pos.at(j), 1);
+        }
+      }
+      flops += (2 * static_cast<std::uint64_t>(u.row_nnz(i)) + 1) *
+               static_cast<std::uint64_t>(k);
+      const real pivot = u.values[start];
+      for (int c = 0; c < k; ++c) {
+        x.at(i, c) = acc[static_cast<std::size_t>(c)] / pivot;
+      }
+    }
+    ctx.charge_flops(flops);
+  }, "trisolve/bwd/interior");
+  }
+  machine.check_quiescent("trisolve/bwd/end");
+}
+
+void DistTriangularSolver::apply(sim::Machine& machine, const DenseRhsBlock& b,
+                                 DenseRhsBlock& x) const {
+  DenseRhsBlock y(b.n, b.k);
   forward(machine, b, y);
   backward(machine, y, x);
 }

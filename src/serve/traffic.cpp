@@ -1,0 +1,38 @@
+#include "ptilu/serve/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ptilu/support/check.hpp"
+#include "ptilu/support/rng.hpp"
+
+namespace ptilu::serve {
+
+std::vector<Request> make_schedule(const TrafficOptions& opts) {
+  PTILU_CHECK(opts.requests >= 1, "traffic needs at least one request");
+  PTILU_CHECK(opts.mean_interarrival_s > 0.0, "mean inter-arrival must be positive");
+  Rng rng(opts.seed);
+  std::vector<Request> schedule;
+  schedule.reserve(static_cast<std::size_t>(opts.requests));
+  double clock = 0.0;
+  for (int r = 0; r < opts.requests; ++r) {
+    // Exponential gap via inversion; 1 - u keeps the argument in (0, 1]
+    // so the log is finite, and a tiny floor keeps arrivals strictly
+    // increasing (distinct times simplify the queueing recursion).
+    const double u = rng.next_double();
+    const double gap = -opts.mean_interarrival_s * std::log(1.0 - u);
+    clock += std::max(gap, 1e-12);
+    schedule.push_back(Request{clock, mix64(opts.seed ^ (0x5EEDF00DULL + static_cast<std::uint64_t>(r)))});
+  }
+  return schedule;
+}
+
+RealVec make_rhs(idx n, std::uint64_t seed) {
+  PTILU_CHECK(n >= 0, "make_rhs: negative size");
+  Rng rng(seed);
+  RealVec b(static_cast<std::size_t>(n));
+  for (real& v : b) v = rng.uniform(-1.0, 1.0);
+  return b;
+}
+
+}  // namespace ptilu::serve

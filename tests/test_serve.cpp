@@ -1,0 +1,510 @@
+// Differential serving-stack tests: the batched multi-RHS solves against
+// their single-RHS references (bit-identical for the scalar CSR and
+// distributed paths, tolerance-based for the blocked path), the
+// FactorCache (key discrimination, LRU order, metrics reconciliation,
+// epoch banking across Machine::reset), the seeded traffic generator, the
+// FIFO batching policy, and the shared-factor concurrency contract the
+// tsan preset exists to check.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ptilu/dist/distcsr.hpp"
+#include "ptilu/graph/graph.hpp"
+#include "ptilu/ilu/ilut.hpp"
+#include "ptilu/ilu/ilut_blocked.hpp"
+#include "ptilu/ilu/rhs_block.hpp"
+#include "ptilu/ilu/trisolve.hpp"
+#include "ptilu/krylov/gmres.hpp"
+#include "ptilu/krylov/gmres_dist.hpp"
+#include "ptilu/krylov/preconditioner.hpp"
+#include "ptilu/pilut/pilut.hpp"
+#include "ptilu/pilut/trisolve_dist.hpp"
+#include "ptilu/serve/factor_cache.hpp"
+#include "ptilu/serve/solve_service.hpp"
+#include "ptilu/serve/traffic.hpp"
+#include "ptilu/sim/machine.hpp"
+#include "ptilu/sim/metrics.hpp"
+#include "ptilu/support/rng.hpp"
+#include "ptilu/workloads/grids.hpp"
+#include "ptilu/workloads/rhs.hpp"
+
+namespace ptilu {
+namespace {
+
+constexpr int kBatchWidths[] = {1, 2, 4, 8, 13};
+
+DistCsr make_dist(const Csr& a, int nranks, std::uint64_t seed = 1) {
+  const Graph g = graph_from_pattern(a);
+  const Partition p = partition_kway(g, nranks, {.seed = seed});
+  return DistCsr::create(a, p);
+}
+
+DenseRhsBlock seeded_block(idx n, int k, std::uint64_t seed) {
+  DenseRhsBlock block(n, k);
+  for (int c = 0; c < k; ++c) {
+    block.set_col(c, serve::make_rhs(n, mix64(seed + static_cast<std::uint64_t>(c))));
+  }
+  return block;
+}
+
+// ---- Batched scalar trisolves: bit-identical per column ----------------
+
+TEST(BatchedTrisolve, ScalarForwardBackwardBitIdenticalToSingle) {
+  const Csr a = workloads::convection_diffusion_2d(20, 20, 8.0, 4.0);
+  const idx n = a.n_rows;
+  const IluFactors factors = ilut(a, {.m = 7, .tau = 1e-3});
+  for (const int k : kBatchWidths) {
+    const DenseRhsBlock b = seeded_block(n, k, 17);
+    DenseRhsBlock y(n, k), x(n, k);
+    forward_solve(factors.l, b, y);
+    backward_solve(factors.u, y, x);
+    RealVec y1(static_cast<std::size_t>(n)), x1(static_cast<std::size_t>(n));
+    for (int c = 0; c < k; ++c) {
+      forward_solve(factors.l, b.col(c), y1);
+      backward_solve(factors.u, y1, x1);
+      for (idx i = 0; i < n; ++i) {
+        // EXPECT_EQ, not NEAR: the batched kernels replay the single-RHS
+        // accumulation order per column exactly.
+        ASSERT_EQ(y.at(i, c), y1[static_cast<std::size_t>(i)]) << "k=" << k << " col=" << c;
+        ASSERT_EQ(x.at(i, c), x1[static_cast<std::size_t>(i)]) << "k=" << k << " col=" << c;
+      }
+    }
+  }
+}
+
+TEST(BatchedTrisolve, ScalarIluApplyBitIdenticalToSingle) {
+  const Csr a = workloads::jump_coefficient_2d(18, 18, 5.0, 11);
+  const idx n = a.n_rows;
+  const IluFactors factors = ilut(a, {.m = 8, .tau = 1e-2});
+  for (const int k : kBatchWidths) {
+    const DenseRhsBlock b = seeded_block(n, k, 23);
+    DenseRhsBlock x(n, k);
+    ilu_apply(factors, b, x);
+    RealVec x1(static_cast<std::size_t>(n));
+    for (int c = 0; c < k; ++c) {
+      ilu_apply(factors, b.col(c), x1);
+      for (idx i = 0; i < n; ++i) {
+        ASSERT_EQ(x.at(i, c), x1[static_cast<std::size_t>(i)]) << "k=" << k << " col=" << c;
+      }
+    }
+  }
+}
+
+// ---- Batched blocked trisolves: match single blocked within tolerance --
+
+TEST(BatchedTrisolve, BlockedMatchesSingleBlocked) {
+  const Csr a = workloads::convection_diffusion_2d(20, 20, 6.0, 3.0);
+  const idx n = a.n_rows;
+  const BlockedIlutOptions opts{.base = {.m = 8, .tau = 1e-3},
+                                .panels = {.max_panel = 4, .slack = 1.5}};
+  const BlockedFactors factors = ilut_blocked(a, opts);
+  for (const int k : kBatchWidths) {
+    const DenseRhsBlock b = seeded_block(n, k, 31);
+    DenseRhsBlock y(n, k), x(n, k), applied(n, k);
+    forward_solve(factors, b, y);
+    backward_solve(factors, y, x);
+    ilu_apply(factors, b, applied);
+    RealVec y1(static_cast<std::size_t>(n)), x1(static_cast<std::size_t>(n));
+    for (int c = 0; c < k; ++c) {
+      forward_solve(factors, b.col(c), y1);
+      backward_solve(factors, y1, x1);
+      for (idx i = 0; i < n; ++i) {
+        const double scale = 1.0 + std::abs(x1[static_cast<std::size_t>(i)]);
+        ASSERT_NEAR(y.at(i, c), y1[static_cast<std::size_t>(i)], 1e-12 * scale)
+            << "k=" << k << " col=" << c;
+        ASSERT_NEAR(x.at(i, c), x1[static_cast<std::size_t>(i)], 1e-12 * scale)
+            << "k=" << k << " col=" << c;
+        ASSERT_NEAR(applied.at(i, c), x1[static_cast<std::size_t>(i)], 1e-12 * scale)
+            << "k=" << k << " col=" << c;
+      }
+    }
+  }
+}
+
+// ---- Batched distributed trisolves -------------------------------------
+
+TEST(BatchedTrisolveDist, BitIdenticalPerColumnAcrossBackendsAndChecking) {
+  const Csr a = workloads::convection_diffusion_2d(18, 18, 7.0, 2.0);
+  const idx n = a.n_rows;
+  const DistCsr dist = make_dist(a, 4);
+  for (const sim::Backend backend : {sim::Backend::kSequential, sim::Backend::kThreads}) {
+    for (const bool check : {false, true}) {
+      sim::Machine::Options options;
+      options.backend = backend;
+      options.check = check;
+      sim::Machine machine(4, options);
+      const PilutResult fact = pilut_factor(machine, dist, {.m = 6, .tau = 1e-3});
+      const DistTriangularSolver solver(fact.factors, fact.schedule);
+      for (const int k : kBatchWidths) {
+        const DenseRhsBlock b = seeded_block(n, k, 41);
+        DenseRhsBlock y(n, k), x(n, k), applied(n, k);
+        solver.forward(machine, b, y);
+        solver.backward(machine, y, x);
+        solver.apply(machine, b, applied);
+        RealVec y1(static_cast<std::size_t>(n)), x1(static_cast<std::size_t>(n));
+        for (int c = 0; c < k; ++c) {
+          const RealVec bc(b.col(c).begin(), b.col(c).end());
+          solver.forward(machine, bc, y1);
+          solver.backward(machine, y1, x1);
+          for (idx i = 0; i < n; ++i) {
+            ASSERT_EQ(y.at(i, c), y1[static_cast<std::size_t>(i)])
+                << "backend=" << sim::backend_name(backend) << " check=" << check
+                << " k=" << k << " col=" << c;
+            ASSERT_EQ(x.at(i, c), x1[static_cast<std::size_t>(i)])
+                << "backend=" << sim::backend_name(backend) << " check=" << check
+                << " k=" << k << " col=" << c;
+            ASSERT_EQ(applied.at(i, c), x1[static_cast<std::size_t>(i)])
+                << "backend=" << sim::backend_name(backend) << " check=" << check
+                << " k=" << k << " col=" << c;
+          }
+        }
+      }
+      machine.check_quiescent("test_serve/dist/end");
+    }
+  }
+}
+
+TEST(BatchedTrisolveDist, BatchedSweepAmortizesMessages) {
+  const Csr a = workloads::convection_diffusion_2d(18, 18, 7.0, 2.0);
+  const idx n = a.n_rows;
+  const DistCsr dist = make_dist(a, 4);
+  sim::Machine machine(4);
+  const PilutResult fact = pilut_factor(machine, dist, {.m = 6, .tau = 1e-3});
+  const DistTriangularSolver solver(fact.factors, fact.schedule);
+  for (const int k : {2, 4, 8}) {
+    const DenseRhsBlock b = seeded_block(n, k, 47);
+
+    machine.reset();
+    RealVec x1(static_cast<std::size_t>(n));
+    for (int c = 0; c < k; ++c) {
+      const RealVec bc(b.col(c).begin(), b.col(c).end());
+      solver.apply(machine, bc, x1);
+    }
+    const std::uint64_t single_messages = machine.total_counters().messages_sent;
+    const double single_time = machine.modeled_time();
+
+    machine.reset();
+    DenseRhsBlock x(n, k);
+    solver.apply(machine, b, x);
+    const std::uint64_t batched_messages = machine.total_counters().messages_sent;
+    const double batched_time = machine.modeled_time();
+
+    // One message pair per (peer, level) regardless of k: the batched sweep
+    // must send exactly a 1/k share of the single-RHS message count, and
+    // the amortized alpha must show up in modeled time.
+    EXPECT_EQ(batched_messages * static_cast<std::uint64_t>(k), single_messages)
+        << "k=" << k;
+    EXPECT_LT(batched_time, single_time) << "k=" << k;
+  }
+}
+
+// ---- Shared-solver GMRES overload --------------------------------------
+
+TEST(GmresDistServe, SharedSolverOverloadMatchesFromFactorization) {
+  const Csr a = workloads::convection_diffusion_2d(16, 16, 6.0, 3.0);
+  const idx n = a.n_rows;
+  const DistCsr dist = make_dist(a, 4);
+  const Halo halo = Halo::build(dist);
+  sim::Machine machine(4);
+  const PilutResult fact = pilut_factor(machine, dist, {.m = 8, .tau = 1e-4});
+  const RealVec b = workloads::rhs_all_ones_solution(a);
+
+  RealVec x_old(static_cast<std::size_t>(n), 0.0);
+  const GmresResult via_factorization =
+      gmres_dist(machine, dist, halo, fact, b, x_old, {.restart = 15});
+  const double time_old = machine.modeled_time();
+
+  const DistTriangularSolver solver(fact.factors, fact.schedule);
+  RealVec x_new(static_cast<std::size_t>(n), 0.0);
+  const GmresResult via_solver =
+      gmres_dist(machine, dist, halo, solver, b, x_new, {.restart = 15});
+  const double time_new = machine.modeled_time();
+
+  EXPECT_EQ(via_factorization.converged, via_solver.converged);
+  EXPECT_EQ(via_factorization.matvecs, via_solver.matvecs);
+  EXPECT_EQ(via_factorization.final_residual, via_solver.final_residual);
+  EXPECT_EQ(time_old, time_new);  // both reset the machine at entry
+  for (idx i = 0; i < n; ++i) {
+    ASSERT_EQ(x_old[static_cast<std::size_t>(i)], x_new[static_cast<std::size_t>(i)]);
+  }
+}
+
+// ---- FactorCache -------------------------------------------------------
+
+Csr small_matrix(double convection = 5.0) {
+  return workloads::convection_diffusion_2d(10, 10, convection, 2.0);
+}
+
+TEST(FactorCache, KeyDiscriminatesParamsValuesAndVariant) {
+  const Csr a = small_matrix();
+  Csr perturbed = a;
+  perturbed.values[perturbed.values.size() / 2] *= 1.0 + 1e-9;
+
+  serve::FactorCache cache(8);
+  const IlutOptions opts{.m = 6, .tau = 1e-3};
+  const auto base = cache.get(a, opts);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // Same matrix + params: a hit, and the very same factor object.
+  EXPECT_EQ(cache.get(a, opts).get(), base.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Different ILUT params on the same matrix: distinct entries.
+  cache.get(a, {.m = 7, .tau = 1e-3});
+  cache.get(a, {.m = 6, .tau = 1e-4});
+  cache.get(a, {.m = 6, .tau = 1e-3, .pivot_rel = 1e-12});
+  EXPECT_EQ(cache.stats().misses, 4u);
+
+  // Same pattern, one value nudged: a different operator.
+  cache.get(perturbed, opts);
+  EXPECT_EQ(cache.stats().misses, 5u);
+
+  // Same (matrix, m, tau) under the blocked variant: distinct again.
+  cache.get_blocked(a, {.base = opts, .panels = {.max_panel = 4, .slack = 1.5}});
+  EXPECT_EQ(cache.stats().misses, 6u);
+  // ... and blocked entries key on the panel knobs too.
+  cache.get_blocked(a, {.base = opts, .panels = {.max_panel = 8, .slack = 1.5}});
+  EXPECT_EQ(cache.stats().misses, 7u);
+  EXPECT_EQ(cache.size(), 7u);
+}
+
+serve::FactorKey scalar_key(const Csr& a, const IlutOptions& opts) {
+  serve::FactorKey key;
+  key.matrix = serve::matrix_fingerprint(a);
+  key.variant = serve::FactorVariant::kScalar;
+  key.m = opts.m;
+  key.tau = opts.tau;
+  key.pivot_rel = opts.pivot_rel;
+  return key;
+}
+
+TEST(FactorCache, LruEvictionEvictsLeastRecentlyUsed) {
+  const Csr a = small_matrix(3.0);
+  const Csr b = small_matrix(4.0);
+  const Csr c = small_matrix(5.0);
+  const IlutOptions opts{.m = 5, .tau = 1e-3};
+
+  serve::FactorCache cache(2);
+  cache.get(a, opts);
+  cache.get(b, opts);
+  cache.get(a, opts);  // refresh a: b is now the LRU entry
+  cache.get(c, opts);  // evicts b
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.contains(scalar_key(a, opts)));
+  EXPECT_FALSE(cache.contains(scalar_key(b, opts)));
+  EXPECT_TRUE(cache.contains(scalar_key(c, opts)));
+
+  // b must now re-factor (a fresh miss), evicting a (LRU after the c miss).
+  cache.get(b, opts);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_FALSE(cache.contains(scalar_key(a, opts)));
+  // An evicted-then-refetched entry still hands out a usable factor.
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(FactorCache, StatsReconcileWithMetricsRegistryAcrossReset) {
+  const Csr a = small_matrix();
+  const IlutOptions opts{.m = 6, .tau = 1e-3};
+  sim::Machine::Options options;
+  options.metrics = true;
+  sim::Machine machine(2, options);
+  sim::Metrics* const metrics = machine.metrics();
+  ASSERT_NE(metrics, nullptr);
+
+  serve::FactorCache cache(1);
+  cache.get(a, opts);  // pre-attachment miss, replayed on attach
+  cache.attach_metrics(metrics);
+  EXPECT_EQ(metrics->counter_value("serve/cache/misses", 0), 1u);
+
+  cache.get(a, opts);
+  cache.get(a, {.m = 7, .tau = 1e-3});  // miss + eviction (capacity 1)
+
+  // Run a superstep and reset the machine: named counters are NOT banked
+  // by reset (only RankCounters are), so the serving tallies keep
+  // accumulating across solve epochs.
+  machine.step([](sim::RankContext& ctx) { ctx.charge_flops(1); }, "test_serve/epoch");
+  machine.reset();
+  cache.get(a, opts);  // miss again (was evicted)
+
+  const serve::CacheStats& stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(metrics->counter_value("serve/cache/hits", 0), stats.hits);
+  EXPECT_EQ(metrics->counter_value("serve/cache/misses", 0), stats.misses);
+  EXPECT_EQ(metrics->counter_value("serve/cache/evictions", 0), stats.evictions);
+}
+
+TEST(FactorCache, CachedFactorSurvivesEviction) {
+  const Csr a = small_matrix(3.0);
+  const Csr b = small_matrix(4.0);
+  const IlutOptions opts{.m = 5, .tau = 1e-3};
+  serve::FactorCache cache(1);
+  const std::shared_ptr<const Preconditioner> held = cache.get(a, opts);
+  cache.get(b, opts);  // evicts a's entry while `held` is still out
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  const RealVec rhs = serve::make_rhs(a.n_rows, 7);
+  RealVec x(static_cast<std::size_t>(a.n_rows));
+  held->apply(rhs, x);  // must not touch freed memory (asan-checked)
+  RealVec reference(static_cast<std::size_t>(a.n_rows));
+  ilu_apply(ilut(a, opts), rhs, reference);
+  for (std::size_t i = 0; i < x.size(); ++i) ASSERT_EQ(x[i], reference[i]);
+}
+
+// ---- Traffic generator -------------------------------------------------
+
+TEST(Traffic, ScheduleIsDeterministicAndStrictlyIncreasing) {
+  const serve::TrafficOptions opts{.requests = 200, .mean_interarrival_s = 1e-3, .seed = 42};
+  const std::vector<serve::Request> one = serve::make_schedule(opts);
+  const std::vector<serve::Request> two = serve::make_schedule(opts);
+  ASSERT_EQ(one.size(), 200u);
+  ASSERT_EQ(two.size(), one.size());
+  double previous = 0.0;
+  for (std::size_t r = 0; r < one.size(); ++r) {
+    EXPECT_EQ(one[r].arrival_s, two[r].arrival_s);
+    EXPECT_EQ(one[r].rhs_seed, two[r].rhs_seed);
+    EXPECT_GT(one[r].arrival_s, previous);
+    previous = one[r].arrival_s;
+  }
+  // A different seed must produce a different process.
+  const std::vector<serve::Request> other =
+      serve::make_schedule({.requests = 200, .mean_interarrival_s = 1e-3, .seed = 43});
+  EXPECT_NE(other.front().arrival_s, one.front().arrival_s);
+
+  const RealVec rhs_a = serve::make_rhs(64, 7);
+  const RealVec rhs_b = serve::make_rhs(64, 7);
+  ASSERT_EQ(rhs_a.size(), 64u);
+  for (std::size_t i = 0; i < rhs_a.size(); ++i) EXPECT_EQ(rhs_a[i], rhs_b[i]);
+}
+
+// ---- Queueing policy ---------------------------------------------------
+
+TEST(SolveService, PlanServeFormsFifoBatchesAndReplaysLatencies) {
+  // Hand-built schedule: three near-simultaneous arrivals, then a gap.
+  std::vector<serve::Request> schedule;
+  for (const double t : {1.0, 1.1, 1.2, 5.0}) schedule.push_back({t, 0});
+  const auto unit_service = [](int) { return 1.0; };
+
+  const std::vector<serve::Batch> plan = serve::plan_serve(schedule, 2, unit_service);
+  // t=1.0: only request 0 has arrived -> batch of 1 (server was idle).
+  // t=2.0: requests 1 and 2 are queued -> batch of 2 (capped).
+  // t=5.0: request 3 -> batch of 1 after an idle gap.
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].first, 0);
+  EXPECT_EQ(plan[0].count, 1);
+  EXPECT_EQ(plan[0].start_s, 1.0);
+  EXPECT_EQ(plan[1].first, 1);
+  EXPECT_EQ(plan[1].count, 2);
+  EXPECT_EQ(plan[1].start_s, 2.0);
+  EXPECT_EQ(plan[2].first, 3);
+  EXPECT_EQ(plan[2].count, 1);
+  EXPECT_EQ(plan[2].start_s, 5.0);
+
+  const serve::ServeReport report =
+      serve::replay_latencies(plan, schedule, {1.0, 1.0, 1.0});
+  ASSERT_EQ(report.latency_s.size(), 4u);
+  EXPECT_DOUBLE_EQ(report.latency_s[0], 1.0);  // done at 2.0
+  EXPECT_DOUBLE_EQ(report.latency_s[1], 1.9);  // done at 3.0
+  EXPECT_DOUBLE_EQ(report.latency_s[2], 1.8);
+  EXPECT_DOUBLE_EQ(report.latency_s[3], 1.0);  // done at 6.0
+  EXPECT_DOUBLE_EQ(report.total_s, 6.0);
+
+  // An uncapped batch_max merges the burst into one batch.
+  const std::vector<serve::Batch> wide = serve::plan_serve(schedule, 8, unit_service);
+  ASSERT_EQ(wide.size(), 3u);  // request 1,2 still arrive after batch 0 starts
+  EXPECT_EQ(wide[1].count, 2);
+
+  EXPECT_DOUBLE_EQ(serve::quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(serve::quantile({3.0, 1.0, 2.0}, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(serve::quantile({3.0, 1.0, 2.0}, 0.0), 1.0);
+}
+
+TEST(SolveService, ModeledBatchServiceIsSubadditive) {
+  const double s1 = serve::modeled_batch_service_s(1, 1000, 5000, 5000, 40e-9, 5e-9);
+  const double s8 = serve::modeled_batch_service_s(8, 1000, 5000, 5000, 40e-9, 5e-9);
+  EXPECT_GT(s8, s1);        // more work than one solve...
+  EXPECT_LT(s8, 8.0 * s1);  // ...but cheaper than eight (factor streamed once)
+}
+
+TEST(SolveService, ApplyBatchMatchesSingleApplies) {
+  const Csr a = small_matrix();
+  const idx n = a.n_rows;
+  const IluPreconditioner scalar(ilut(a, {.m = 6, .tau = 1e-3}));
+  const JacobiPreconditioner jacobi(a);  // exercises the generic fallback
+  for (const Preconditioner* factor :
+       {static_cast<const Preconditioner*>(&scalar),
+        static_cast<const Preconditioner*>(&jacobi)}) {
+    const DenseRhsBlock b = seeded_block(n, 5, 53);
+    DenseRhsBlock x(n, 5);
+    serve::apply_batch(*factor, b, x);
+    RealVec x1(static_cast<std::size_t>(n));
+    for (int c = 0; c < 5; ++c) {
+      factor->apply(b.col(c), x1);
+      for (idx i = 0; i < n; ++i) {
+        ASSERT_EQ(x.at(i, c), x1[static_cast<std::size_t>(i)]) << "col=" << c;
+      }
+    }
+  }
+}
+
+// ---- Concurrent GMRES streams over one shared cached factor ------------
+// The tsan CI preset runs this: c threads apply the same immutable factor
+// concurrently, which is safe exactly because apply() is const with
+// call-local scratch. Results must equal the serial run bit-for-bit.
+
+TEST(ServeStreams, ConcurrentGmresOnSharedFactorMatchesSerial) {
+  const Csr a = workloads::convection_diffusion_2d(14, 14, 6.0, 3.0);
+  const idx n = a.n_rows;
+  serve::FactorCache cache(4);
+  const std::shared_ptr<const Preconditioner> shared =
+      cache.get(a, {.m = 8, .tau = 1e-4});
+
+  constexpr int kSolves = 6;
+  std::vector<RealVec> rhs;
+  rhs.reserve(kSolves);
+  for (int q = 0; q < kSolves; ++q) {
+    rhs.push_back(serve::make_rhs(n, mix64(900 + static_cast<std::uint64_t>(q))));
+  }
+
+  std::vector<GmresResult> serial(kSolves);
+  std::vector<RealVec> serial_x(kSolves, RealVec(static_cast<std::size_t>(n), 0.0));
+  for (int q = 0; q < kSolves; ++q) {
+    serial[q] = gmres(a, *shared, rhs[static_cast<std::size_t>(q)],
+                      serial_x[static_cast<std::size_t>(q)], {.restart = 10});
+  }
+
+  std::vector<GmresResult> threaded(kSolves);
+  std::vector<RealVec> threaded_x(kSolves, RealVec(static_cast<std::size_t>(n), 0.0));
+  constexpr int kStreams = 3;
+  std::vector<std::thread> pool;
+  pool.reserve(kStreams);
+  for (int s = 0; s < kStreams; ++s) {
+    pool.emplace_back([&, s]() {
+      for (int q = s; q < kSolves; q += kStreams) {
+        threaded[static_cast<std::size_t>(q)] =
+            gmres(a, *shared, rhs[static_cast<std::size_t>(q)],
+                  threaded_x[static_cast<std::size_t>(q)], {.restart = 10});
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  for (int q = 0; q < kSolves; ++q) {
+    EXPECT_EQ(serial[q].matvecs, threaded[q].matvecs) << "solve " << q;
+    EXPECT_EQ(serial[q].final_residual, threaded[q].final_residual) << "solve " << q;
+    for (idx i = 0; i < n; ++i) {
+      ASSERT_EQ(serial_x[static_cast<std::size_t>(q)][static_cast<std::size_t>(i)],
+                threaded_x[static_cast<std::size_t>(q)][static_cast<std::size_t>(i)])
+          << "solve " << q;
+    }
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);  // every stream shared one factor
+}
+
+}  // namespace
+}  // namespace ptilu
