@@ -36,6 +36,20 @@
 //    message counts (the batched level sweep sends ONE message pair per
 //    peer per level regardless of k).
 //
+// Serving telemetry (serve/telemetry.hpp, docs/SERVING.md §6) rides the
+// apply and stream benches: every request's lifecycle is journaled into
+// an EventLog (exported as Chrome trace spans with --serve-trace), modeled
+// latencies stream into sharded-and-merged LatencyHistograms whose
+// quantiles are checked against the exact SortedSample within the
+// documented bucket-resolution bound, every batch is decomposed by
+// attribute_batches (queue-wait / cache-resolve / per-column solve, with
+// first-argmax straggler elections and lane rollups), and the final
+// stream bench is decomposed by attribute_streams. --serve-report writes
+// the versioned "ptilu-serve-report-v1" JSON (serve/serve_report.hpp),
+// which scripts/check_serve_report.py re-derives identity by identity;
+// the report carries no backend or wall fields, so the same command on
+// both backends produces byte-identical files.
+//
 // The top-level "payload_checksum" is an FNV-1a 64 hash over the
 // deterministic fields only (modeled numbers, checksums, cache counters —
 // never wall-clock), so two runs on different backends must produce the
@@ -48,6 +62,11 @@
 // stream_benches), --procs=P and --dist-k=K (dist_benches shape),
 // --seed=N, --cache-cap=N (FactorCache capacity; default from
 // PTILU_SERVE_CACHE_CAP), --json=PATH, --exact (deterministic-only JSON),
+// --serve-report[=PATH] (ptilu-serve-report-v1; default serve_report.json),
+// --serve-trace[=PATH] (lifecycle Chrome trace; default serve_trace.json),
+// --trace/--trace-dir and --report/--report-dir (shared harness
+// observability: an observed rerun of the dist bench with per-phase
+// breakdown and the standard ptilu-report-v2 run report),
 // --backend=<sequential|threads> / --threads=N (simulated-machine backend
 // for dist_benches, default from PTILU_BACKEND / PTILU_THREADS).
 #include <algorithm>
@@ -63,7 +82,9 @@
 #include "ptilu/krylov/preconditioner.hpp"
 #include "ptilu/pilut/trisolve_dist.hpp"
 #include "ptilu/serve/factor_cache.hpp"
+#include "ptilu/serve/serve_report.hpp"
 #include "ptilu/serve/solve_service.hpp"
+#include "ptilu/serve/telemetry.hpp"
 #include "ptilu/serve/traffic.hpp"
 #include "ptilu/support/rng.hpp"
 #include "ptilu/support/timer.hpp"
@@ -73,6 +94,13 @@ namespace {
 using namespace ptilu;
 using bench::TestMatrix;
 
+/// Latencies are split round-robin into this many shard histograms and
+/// merged back — exercising (and counting) the mergeable-histogram path
+/// the way a multi-worker frontend would use it. Merging is element-wise
+/// count addition, so the merged histogram is bit-identical to recording
+/// into one histogram directly (test_serve_telemetry pins this).
+constexpr int kHistShards = 4;
+
 struct ApplyBench {
   int batch_max = 0;
   std::size_t batches = 0;
@@ -80,6 +108,9 @@ struct ApplyBench {
   serve::ServeReport wall;  // valid only when `measured`
   bool measured = false;
   double checksum = 0.0;
+  double exact_p50 = 0.0, exact_p99 = 0.0;  ///< SortedSample reads (modeled)
+  double hist_p50 = 0.0, hist_p99 = 0.0;    ///< LatencyHistogram reads (modeled)
+  double wall_p50 = 0.0, wall_p99 = 0.0;    ///< valid only when `measured`
 };
 
 struct StreamBench {
@@ -125,6 +156,12 @@ void append_g(std::string& out, const char* key, double value) {
   out += buffer;
 }
 
+std::string format_g(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -148,34 +185,49 @@ int main(int argc, char** argv) {
       cli.get_int("cache-cap", static_cast<long long>(serve::FactorCache::capacity_from_env())));
   const std::string json_path = cli.get_string("json", "");
   const bool exact = cli.get_bool("exact", false);
+  // Bare --serve-report / --serve-trace parse as the value "true": treat
+  // that as "use the default file name in the working directory".
+  std::string serve_report_path = cli.get_string("serve-report", "");
+  if (serve_report_path == "true") serve_report_path = "serve_report.json";
+  std::string serve_trace_path = cli.get_string("serve-trace", "");
+  if (serve_trace_path == "true") serve_trace_path = "serve_trace.json";
   const sim::Machine::Options machine_opts = bench::machine_options_from_cli(cli);
+  bench::Observability obs(cli, "serve");
   cli.check_all_consumed();
   PTILU_CHECK(requests >= 1 && procs >= 1 && dist_k >= 1, "invalid bench shape");
 
   const TestMatrix g0 = bench::build_g0(scale);
   const idx n = g0.a.n_rows;
+  const auto nnz = static_cast<std::uint64_t>(g0.a.nnz());
   const IlutOptions serial_opts{.m = 10, .tau = 1e-4, .pivot_rel = 1e-12};
 
   serve::FactorCache cache(cache_cap);
   sim::Metrics registry(1);
   cache.attach_metrics(&registry);
+  serve::ServeTelemetry telemetry;
+  telemetry.attach_metrics(&registry);
+  serve::EventLog event_log;
 
   std::printf("bench_serve: scale=%s requests=%d seed=%llu cache-cap=%zu backend=%s%s\n",
               smoke ? "smoke" : (quick ? "quick" : "default"), requests,
               static_cast<unsigned long long>(seed), cache_cap,
               sim::backend_name(machine_opts.backend), exact ? " (exact)" : "");
 
-  // Shared modeled service-time model: every batch streams the factors once
-  // and pays k columns of substitution flops, at the simulator's T3D rates.
+  // Shared modeled cost model: every batch pays one cache resolve
+  // (fingerprint probe), streams the factors once, and pays k columns of
+  // substitution flops, at the simulator's T3D rates. costs.total_s IS the
+  // planned service time, so the telemetry decomposition re-sums to the
+  // plan bit-exactly.
   const std::shared_ptr<const Preconditioner> factor = cache.get(g0.a, serial_opts);
   const auto* ilu = dynamic_cast<const IluPreconditioner*>(factor.get());
   PTILU_CHECK(ilu != nullptr, "serve bench expects a scalar ILUT factor");
   const auto nnz_l = static_cast<std::uint64_t>(ilu->factors().l.nnz());
   const auto nnz_u = static_cast<std::uint64_t>(ilu->factors().u.nnz());
   const sim::MachineParams rates = sim::MachineParams::cray_t3d();
-  const auto modeled_service = [&](int k) {
-    return serve::modeled_batch_service_s(k, n, nnz_l, nnz_u, rates.flop, rates.mem);
-  };
+  const serve::BatchCostModel costs =
+      serve::modeled_batch_costs(n, nnz, nnz_l, nnz_u, rates.flop, rates.mem);
+  const std::uint64_t fingerprint = serve::matrix_fingerprint(g0.a);
+  const auto modeled_service = [&](int k) { return costs.total_s(k); };
 
   // Oversubscribe the k=1 server (arrivals 8x faster than it can solve):
   // under this load the batch caps separate cleanly, and solves/sec
@@ -189,6 +241,7 @@ int main(int argc, char** argv) {
 
   // --- apply_benches: queue the same schedule at each batch cap.
   std::vector<ApplyBench> apply_benches;
+  std::vector<serve::ApplySection> apply_sections;
   for (const int batch_max : batch_caps) {
     PTILU_CHECK(batch_max >= 1, "--batch entries must be >= 1");
     ApplyBench bench;
@@ -201,14 +254,28 @@ int main(int argc, char** argv) {
     for (std::size_t b = 0; b < plan.size(); ++b) planned_s[b] = plan[b].service_s;
     bench.modeled = serve::replay_latencies(plan, schedule, planned_s);
 
-    // Execute every batch for real through the cache-held factor; the same
-    // factor serves every batch cap, so after the first miss this loop is
-    // all cache hits. Wall time per batch feeds the replay; the solve
+    // Decompose every planned batch: queue-wait per member, resolve /
+    // shared-stream / per-column costs, first-argmax straggler, lane
+    // rollups. attribute_batches re-runs the queue recursion and throws
+    // if the plan was not formed from this schedule and cost model.
+    serve::ApplyAttribution attribution =
+        serve::attribute_batches(schedule, plan, costs, batch_max, &telemetry);
+
+    // Execute every batch for real through the cache-held factor — one
+    // cache resolve per batch, exactly as the cost model charges. The same
+    // factor serves every batch, so after the warmup miss this loop is all
+    // cache hits; the hit/miss outcome per batch feeds the event log and
+    // the serve report. Wall time per batch feeds the replay; the solve
     // values feed the checksum either way.
-    const std::shared_ptr<const Preconditioner> served = cache.get(g0.a, serial_opts);
+    std::vector<bool> cache_hits(plan.size(), false);
     std::vector<double> wall_s(plan.size(), 0.0);
+    std::vector<double> wall_done_s(plan.size(), 0.0);
+    WallTimer cap_timer;
     for (std::size_t b = 0; b < plan.size(); ++b) {
       const serve::Batch& batch = plan[b];
+      const std::uint64_t hits_before = cache.stats().hits;
+      const std::shared_ptr<const Preconditioner> served = cache.get(g0.a, serial_opts);
+      cache_hits[b] = cache.stats().hits > hits_before;
       DenseRhsBlock rhs(n, batch.count);
       for (int c = 0; c < batch.count; ++c) {
         rhs.set_col(c, serve::make_rhs(
@@ -218,8 +285,43 @@ int main(int argc, char** argv) {
       WallTimer timer;
       serve::apply_batch(*served, rhs, x);
       wall_s[b] = timer.seconds();
+      wall_done_s[b] = cap_timer.seconds();
       bench.checksum += block_checksum(x);
     }
+
+    // Journal the full lifecycle of this cap's plan: enqueue → resolve →
+    // admit → solve start → complete, modeled timestamps throughout, wall
+    // completion stamps when measuring (never under --exact).
+    event_log.begin_group("apply b<=" + std::to_string(batch_max));
+    serve::append_lifecycle_events(event_log, schedule, attribution, costs, fingerprint,
+                                   cache_hits,
+                                   exact ? std::vector<double>{} : wall_done_s);
+
+    // Modeled latencies through the mergeable histogram, sharded the way a
+    // multi-worker frontend would shard them, then merged. Σ counts must
+    // equal the requests served — the exact-count identity.
+    std::vector<serve::LatencyHistogram> shards(kHistShards);
+    for (std::size_t r = 0; r < bench.modeled.latency_s.size(); ++r) {
+      shards[r % kHistShards].record(bench.modeled.latency_s[r]);
+    }
+    for (int s = 1; s < kHistShards; ++s) shards[0].merge(shards[static_cast<std::size_t>(s)], &telemetry);
+    const serve::LatencyHistogram& hist = shards[0];
+    PTILU_CHECK(hist.total() == static_cast<std::uint64_t>(requests),
+                "histogram bucket counts must sum to the requests served");
+
+    // Both quantile paths read the SAME sample: the histogram returns the
+    // bucket's upper edge, so it must bound the exact quantile from above
+    // within the documented 1/kSubBuckets resolution.
+    const serve::SortedSample sample(bench.modeled.latency_s);
+    bench.exact_p50 = sample.quantile(0.50);
+    bench.exact_p99 = sample.quantile(0.99);
+    bench.hist_p50 = hist.quantile(0.50);
+    bench.hist_p99 = hist.quantile(0.99);
+    const double bound = 1.0 + serve::LatencyHistogram::relative_error_bound();
+    PTILU_CHECK(bench.hist_p50 > bench.exact_p50 && bench.hist_p50 <= bench.exact_p50 * bound &&
+                    bench.hist_p99 > bench.exact_p99 && bench.hist_p99 <= bench.exact_p99 * bound,
+                "histogram quantiles outside the bucket-resolution bound");
+
     if (!exact) {
       // Closed-loop wall replay: same batches, arrivals pinned to t=0 (see
       // the file comment — modeled arrivals and wall seconds are different
@@ -227,13 +329,34 @@ int main(int argc, char** argv) {
       std::vector<serve::Request> saturated = schedule;
       for (serve::Request& request : saturated) request.arrival_s = 0.0;
       bench.wall = serve::replay_latencies(plan, saturated, wall_s);
+      const serve::SortedSample wall_sample(bench.wall.latency_s);
+      bench.wall_p50 = wall_sample.quantile(0.50);
+      bench.wall_p99 = wall_sample.quantile(0.99);
       bench.measured = true;
     }
 
+    serve::ApplySection section;
+    section.cap = batch_max;
+    section.n = n;
+    section.nnz = nnz;
+    section.nnz_l = nnz_l;
+    section.nnz_u = nnz_u;
+    section.fingerprint = fingerprint;
+    section.costs = costs;
+    section.attribution = std::move(attribution);
+    section.cache_hit = cache_hits;
+    section.hist = hist;
+    section.hist_p50 = bench.hist_p50;
+    section.hist_p99 = bench.hist_p99;
+    section.exact_p50 = bench.exact_p50;
+    section.exact_p99 = bench.exact_p99;
+    apply_sections.push_back(std::move(section));
+
     const double modeled_rate = static_cast<double>(requests) / bench.modeled.total_s;
-    std::printf("apply  batch<=%-2d %4zu batches  modeled %8.1f solves/s  p99 %.3e s",
-                batch_max, bench.batches, modeled_rate,
-                serve::quantile(bench.modeled.latency_s, 0.99));
+    std::printf("apply  batch<=%-2d %4zu batches  modeled %8.1f solves/s  p99 %.3e s"
+                " (hist %.3e s)  straggler lane %d",
+                batch_max, bench.batches, modeled_rate, bench.exact_p99, bench.hist_p99,
+                apply_sections.back().attribution.batches.front().straggler_column);
     if (bench.measured) {
       std::printf("  wall %8.1f solves/s",
                   static_cast<double>(requests) / bench.wall.total_s);
@@ -253,6 +376,11 @@ int main(int argc, char** argv) {
   // --- stream_benches: c concurrent GMRES streams, one shared factor.
   std::vector<StreamBench> stream_benches;
   const int stream_solves = smoke ? 8 : (quick ? 12 : 24);
+  // Per-solve matvec counts, recorded by solve id: solve q's iteration
+  // count is a property of (matrix, rhs seed), not of the thread count, so
+  // every stream bench writes the same values. They feed the stream
+  // attribution below.
+  std::vector<long long> solve_matvecs(static_cast<std::size_t>(stream_solves), 0);
   for (const int streams : stream_counts) {
     PTILU_CHECK(streams >= 1, "--streams entries must be >= 1");
     StreamBench bench;
@@ -269,7 +397,8 @@ int main(int argc, char** argv) {
         pool.emplace_back([&, s]() {
           // Stream s owns solves s, s+streams, s+2*streams, ... — a fixed
           // partition, so the per-stream sums (and therefore the checksum)
-          // do not depend on thread scheduling.
+          // do not depend on thread scheduling, and solve_matvecs[q] has
+          // exactly one writer.
           for (int q = s; q < stream_solves; q += streams) {
             const RealVec b = serve::make_rhs(
                 n, mix64(seed ^ (0xB0A715ULL + static_cast<std::uint64_t>(q))));
@@ -278,6 +407,7 @@ int main(int argc, char** argv) {
             stream_sums[static_cast<std::size_t>(s)] +=
                 solve.final_residual + static_cast<double>(solve.matvecs);
             stream_matvecs[static_cast<std::size_t>(s)] += solve.matvecs;
+            solve_matvecs[static_cast<std::size_t>(q)] = solve.matvecs;
           }
         });
       }
@@ -298,6 +428,18 @@ int main(int argc, char** argv) {
     std::printf("\n");
     stream_benches.push_back(bench);
   }
+
+  // Attribute the widest stream sweep: solve q costs matvecs[q] modeled
+  // GMRES iterations, rounds barrier at the slowest stream (first-argmax
+  // straggler election), per-stream busy/idle/imbalance roll up — real
+  // variance, since iteration counts differ across right-hand sides.
+  const double step_s =
+      serve::modeled_stream_step_s(n, nnz, nnz_l, nnz_u, rates.flop, rates.mem);
+  const serve::StreamAttribution stream_attr =
+      serve::attribute_streams(stream_counts.back(), solve_matvecs, step_s, &telemetry);
+  std::printf("stream attribution c=%d: %zu rounds  modeled %.3e s  imbalance %.3f\n",
+              stream_attr.streams, stream_attr.rounds.size(), stream_attr.elapsed_s,
+              stream_attr.imbalance);
 
   // --- dist_benches: batched vs single-RHS distributed trisolve applies.
   std::vector<DistBench> dist_benches;
@@ -339,6 +481,22 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(bench.batched_messages),
                 static_cast<unsigned long long>(bench.single_messages));
     dist_benches.push_back(bench);
+
+    if (obs.enabled()) {
+      // Observed rerun of the batched dist solve with the shared harness
+      // observability (trace rollups / metrics report) attached — the
+      // measurement runs above stay uninstrumented.
+      sim::Machine observed(procs, obs.machine_options(machine_opts));
+      obs.attach(observed);
+      const PilutResult ofact = pilut_factor(observed, dist, pilut_opts);
+      const DistTriangularSolver osolver(ofact.factors, ofact.schedule);
+      DenseRhsBlock x_obs(n, dist_k);
+      osolver.apply(observed, rhs, x_obs);
+      const std::string label =
+          "dist p=" + std::to_string(procs) + " k=" + std::to_string(dist_k);
+      obs.report(observed, label,
+                 {{"procs", std::to_string(procs)}, {"k", std::to_string(dist_k)}});
+    }
   }
 
   const serve::CacheStats& cache_stats = cache.stats();
@@ -352,6 +510,21 @@ int main(int argc, char** argv) {
                   registry.counter_value("serve/cache/evictions", 0) == cache_stats.evictions,
               "cache stats / metrics registry mismatch");
 
+  const serve::TelemetryStats& tstats = telemetry.stats();
+  std::printf("telemetry requests=%llu batches=%llu elections=%llu hist-merges=%llu\n",
+              static_cast<unsigned long long>(tstats.requests),
+              static_cast<unsigned long long>(tstats.batches),
+              static_cast<unsigned long long>(tstats.straggler_elections),
+              static_cast<unsigned long long>(tstats.histogram_merges));
+  PTILU_CHECK(
+      registry.counter_value("serve/telemetry/requests", 0) == tstats.requests &&
+          registry.counter_value("serve/telemetry/batches", 0) == tstats.batches &&
+          registry.counter_value("serve/telemetry/straggler_elections", 0) ==
+              tstats.straggler_elections &&
+          registry.counter_value("serve/telemetry/histogram_merges", 0) ==
+              tstats.histogram_merges,
+      "telemetry stats / metrics registry mismatch");
+
   // Deterministic payload checksum: everything modeled, nothing wall.
   std::string payload = "ptilu-bench-serve-v1;";
   payload += g0.name + ";";
@@ -359,12 +532,18 @@ int main(int argc, char** argv) {
   payload += std::to_string(requests) + ";" + std::to_string(seed) + ";";
   payload += std::to_string(cache_stats.hits) + ";" + std::to_string(cache_stats.misses) +
              ";" + std::to_string(cache_stats.evictions) + ";";
+  payload += "telemetry:" + std::to_string(tstats.requests) + ":" +
+             std::to_string(tstats.batches) + ":" +
+             std::to_string(tstats.straggler_elections) + ":" +
+             std::to_string(tstats.histogram_merges) + ";";
   for (const ApplyBench& bench : apply_benches) {
     payload += "apply:" + std::to_string(bench.batch_max) + ":" +
                std::to_string(bench.batches) + ";";
     append_g(payload, "total", bench.modeled.total_s);
-    append_g(payload, "p50", serve::quantile(bench.modeled.latency_s, 0.50));
-    append_g(payload, "p99", serve::quantile(bench.modeled.latency_s, 0.99));
+    append_g(payload, "p50", bench.exact_p50);
+    append_g(payload, "p99", bench.exact_p99);
+    append_g(payload, "hp50", bench.hist_p50);
+    append_g(payload, "hp99", bench.hist_p99);
     append_g(payload, "sum", bench.checksum);
   }
   for (const StreamBench& bench : stream_benches) {
@@ -383,6 +562,30 @@ int main(int argc, char** argv) {
   const std::uint64_t payload_checksum = fnv1a(payload);
   std::printf("payload checksum %016llx\n",
               static_cast<unsigned long long>(payload_checksum));
+
+  if (!serve_report_path.empty()) {
+    serve::ServeReportV1 sreport;
+    sreport.run = {{"workload", "\"" + g0.name + "\""},
+                   {"smoke", smoke ? "true" : "false"},
+                   {"quick", quick ? "true" : "false"},
+                   {"exact", exact ? "true" : "false"},
+                   {"requests", std::to_string(requests)},
+                   {"seed", std::to_string(seed)},
+                   {"mean_interarrival_s", format_g(traffic.mean_interarrival_s)},
+                   {"stream_solves", std::to_string(stream_solves)}};
+    sreport.histogram_shards = kHistShards;
+    sreport.apply = std::move(apply_sections);
+    sreport.has_stream = true;
+    sreport.stream = stream_attr;
+    sreport.telemetry = tstats;
+    serve::write_serve_report_file(sreport, serve_report_path);
+    std::printf("wrote %s\n", serve_report_path.c_str());
+  }
+  if (!serve_trace_path.empty()) {
+    event_log.write_chrome_trace_file(serve_trace_path);
+    std::printf("wrote %s (%zu lifecycle events)\n", serve_trace_path.c_str(),
+                event_log.size());
+  }
 
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -404,6 +607,13 @@ int main(int argc, char** argv) {
                  cache.capacity(), static_cast<unsigned long long>(cache_stats.hits),
                  static_cast<unsigned long long>(cache_stats.misses),
                  static_cast<unsigned long long>(cache_stats.evictions));
+    std::fprintf(f,
+                 "  \"telemetry\": {\"requests\": %llu, \"batches\": %llu, "
+                 "\"straggler_elections\": %llu, \"histogram_merges\": %llu},\n",
+                 static_cast<unsigned long long>(tstats.requests),
+                 static_cast<unsigned long long>(tstats.batches),
+                 static_cast<unsigned long long>(tstats.straggler_elections),
+                 static_cast<unsigned long long>(tstats.histogram_merges));
     std::fprintf(f, "  \"apply_benches\": [\n");
     for (std::size_t i = 0; i < apply_benches.size(); ++i) {
       const ApplyBench& bench = apply_benches[i];
@@ -412,19 +622,18 @@ int main(int argc, char** argv) {
                    bench.batch_max, bench.batch_max, bench.batches);
       std::fprintf(f,
                    "     \"modeled_total_s\": %.17g, \"modeled_solves_per_s\": %.17g,\n"
-                   "     \"modeled_p50_s\": %.17g, \"modeled_p99_s\": %.17g,\n",
+                   "     \"modeled_p50_s\": %.17g, \"modeled_p99_s\": %.17g,\n"
+                   "     \"hist_p50_s\": %.17g, \"hist_p99_s\": %.17g,\n",
                    bench.modeled.total_s,
                    static_cast<double>(requests) / bench.modeled.total_s,
-                   serve::quantile(bench.modeled.latency_s, 0.50),
-                   serve::quantile(bench.modeled.latency_s, 0.99));
+                   bench.exact_p50, bench.exact_p99, bench.hist_p50, bench.hist_p99);
       if (bench.measured) {
         std::fprintf(f,
                      "     \"wall_total_s\": %.6f, \"wall_solves_per_s\": %.6f,\n"
                      "     \"wall_p50_s\": %.6f, \"wall_p99_s\": %.6f,\n",
                      bench.wall.total_s,
                      static_cast<double>(requests) / bench.wall.total_s,
-                     serve::quantile(bench.wall.latency_s, 0.50),
-                     serve::quantile(bench.wall.latency_s, 0.99));
+                     bench.wall_p50, bench.wall_p99);
       }
       std::fprintf(f, "     \"checksum\": %.17g}%s\n", bench.checksum,
                    i + 1 < apply_benches.size() ? "," : "");

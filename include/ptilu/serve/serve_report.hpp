@@ -1,0 +1,66 @@
+// ptilu-serve-report-v1: the serving counterpart of bench's ptilu-report-v2
+// run reports (docs/SERVING.md §6, docs/OBSERVABILITY.md).
+//
+// The report is a self-checking artifact: everything it states it also
+// states the inputs for, so scripts/check_serve_report.py re-derives the
+// whole document from first principles — it re-runs the queueing
+// recursion from the serialized arrivals, re-sums every batch
+// decomposition in the documented fold order, re-elects every straggler,
+// rebuilds the latency histogram bucket-for-bucket from the batch
+// details, and recomputes both histogram and exact quantiles — and every
+// value must match bit-for-bit (doubles travel as %.17g, which
+// round-trips IEEE-754 binary64 exactly).
+//
+// The report deliberately carries NO backend or thread-count fields: the
+// serving plan, decomposition, and histogram live entirely on the modeled
+// axis, so the same command on kSequential and kThreads must produce
+// byte-identical files — CI diffs them with cmp(1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ptilu/serve/solve_service.hpp"
+#include "ptilu/serve/telemetry.hpp"
+
+namespace ptilu::serve {
+
+/// One batch-cap point of the apply sweep: the operator identity, the
+/// cost model the plan used, the full attribution, and the two latency
+/// views (streaming histogram vs exact sorted sample).
+struct ApplySection {
+  int cap = 1;                       ///< batch_max for this sweep point
+  idx n = 0;                         ///< operator rows
+  std::uint64_t nnz = 0;             ///< operator nonzeros
+  std::uint64_t nnz_l = 0, nnz_u = 0;  ///< factor nonzeros
+  std::uint64_t fingerprint = 0;     ///< matrix_fingerprint of the operator
+  BatchCostModel costs;              ///< the decomposition's unit costs
+  ApplyAttribution attribution;      ///< batches + lane rollup
+  std::vector<bool> cache_hit;       ///< per-batch factor-cache outcome
+  LatencyHistogram hist;             ///< modeled latencies, sharded+merged
+  double hist_p50 = 0.0, hist_p99 = 0.0;    ///< histogram quantile reads
+  double exact_p50 = 0.0, exact_p99 = 0.0;  ///< SortedSample ground truth
+};
+
+/// The whole report. `run` carries free-form run parameters as
+/// (key, raw JSON value) pairs in insertion order — callers must NOT put
+/// backend/thread identity here (see file comment).
+struct ServeReportV1 {
+  std::vector<std::pair<std::string, std::string>> run;
+  int histogram_shards = 1;  ///< shards each cap's latencies were split into
+  std::vector<ApplySection> apply;
+  bool has_stream = false;
+  StreamAttribution stream;
+  TelemetryStats telemetry;  ///< final counter totals (checker re-tallies)
+};
+
+/// Serialize to the ptilu-serve-report-v1 JSON document (deterministic:
+/// fixed key order, %.17g doubles, no map iteration anywhere).
+std::string write_serve_report_json(const ServeReportV1& report);
+
+/// write_serve_report_json to a file; throws on I/O failure.
+void write_serve_report_file(const ServeReportV1& report, const std::string& path);
+
+}  // namespace ptilu::serve

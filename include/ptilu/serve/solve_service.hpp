@@ -49,11 +49,31 @@ struct ServeReport {
   double total_s = 0.0;           ///< completion time of the last batch
 };
 
-/// Modeled service time for a batch of k solves against a factorization
-/// with the given nonzero counts: k times the substitution flops plus ONE
-/// stream of the factor bytes (the batched kernels read L and U once per
-/// batch). Uses the simulator's flop/mem rates so the numbers live on the
-/// same axis as machine.modeled_time().
+/// Decomposed modeled cost of serving one batch, in the three pieces the
+/// telemetry layer attributes (docs/SERVING.md §6): a per-batch cache
+/// resolve (fingerprint probe over the operator bytes), a per-batch
+/// shared factor stream (L and U read once — the term batching
+/// amortizes), and a per-column solve contribution (substitution flops +
+/// RHS/solution traffic). total_s(k) is THE definition of a batch's
+/// modeled service time: a fixed-order fold (resolve + (shared + k
+/// column terms)), so the decomposition re-sums to the total bit-exactly
+/// — the identity check_serve_report.py re-verifies.
+struct BatchCostModel {
+  double cache_resolve_s = 0.0;
+  double stream_shared_s = 0.0;
+  double column_solve_s = 0.0;
+
+  double total_s(int k) const;
+};
+
+/// Cost model for a factorization with (nnz_l, nnz_u) nonzeros of an
+/// n-row operator with nnz entries, at the simulator's flop/mem rates —
+/// the numbers live on the same axis as machine.modeled_time().
+BatchCostModel modeled_batch_costs(idx n, std::uint64_t nnz, std::uint64_t nnz_l,
+                                   std::uint64_t nnz_u, double flop_t, double mem_t);
+
+/// Legacy single-number service model: BatchCostModel::total_s without
+/// the cache-resolve term (callers that never touch the cache).
 double modeled_batch_service_s(int k, idx n, std::uint64_t nnz_l, std::uint64_t nnz_u,
                                double flop_t, double mem_t);
 
@@ -73,9 +93,28 @@ ServeReport replay_latencies(const std::vector<Batch>& batches,
                              const std::vector<Request>& schedule,
                              const std::vector<double>& service_per_batch);
 
-/// Nearest-rank quantile (q in [0, 1]) of an unsorted sample; sorts a
-/// copy. Empty input returns 0.
-double quantile(std::vector<double> sample, double q);
+/// A sample sorted once, read many times: the old free quantile() took
+/// its vector by value and re-sorted per call, so reading p50 and p99
+/// sorted the same latencies twice. Construct from the raw sample (moved
+/// in, sorted in place), then every quantile() read is O(1).
+/// Construction throws on an empty sample — an empty latency set has no
+/// quantiles, and returning 0 silently (the old behavior) hid it.
+class SortedSample {
+ public:
+  explicit SortedSample(std::vector<double> sample);
+
+  /// Nearest-rank quantile: the ceil(q·N)-th smallest value (1-based),
+  /// clamped to the ends; q must be in [0, 1]. quantile(0) is the
+  /// minimum, quantile(1) the maximum, and with ties the tied value is
+  /// returned for every rank it occupies.
+  double quantile(double q) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& values() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
 
 /// Apply one preconditioner to a batch of right-hand sides: columns of
 /// `b` are solved into columns of `x` via the batched DenseRhsBlock

@@ -4,9 +4,11 @@
 Runs the validator over every fixture under tests/serve_fixtures/: files
 named ok_*.json must validate cleanly, files named bad_*.json must be
 rejected (each one violates exactly one documented identity, so a pass
-here means the corresponding check actually fires). On top of the
-per-file sweep it exercises the --compare dispatch: serve-vs-serve with
-wall data succeeds, --exact files are refused (no wall data), a
+here means the corresponding check actually fires). Fixtures under the
+report/ subdirectory are ptilu-serve-report-v1 documents and are routed
+through check_serve_report.py instead (same ok_/bad_ convention). On top
+of the per-file sweep it exercises the --compare dispatch: serve-vs-serve
+with wall data succeeds, --exact files are refused (no wall data), a
 payload-checksum mismatch is refused (different batch plans), and a
 serve file compared against a wallclock file is refused as cross-family.
 
@@ -26,11 +28,18 @@ import tempfile
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 CHECKER = os.path.join(REPO, "scripts", "check_bench_json.py")
+REPORT_CHECKER = os.path.join(REPO, "scripts", "check_serve_report.py")
 FIXTURES = os.path.join(REPO, "tests", "serve_fixtures")
+REPORT_FIXTURES = os.path.join(FIXTURES, "report")
 
 
 def run_checker(*argv):
     return subprocess.run([sys.executable, CHECKER, *argv],
+                          capture_output=True, text=True)
+
+
+def run_report_checker(*argv):
+    return subprocess.run([sys.executable, REPORT_CHECKER, *argv],
                           capture_output=True, text=True)
 
 
@@ -77,6 +86,21 @@ def main() -> int:
             failures.append(f"{name}: expected to validate, got:\n{proc.stdout}")
         elif name.startswith("bad_") and proc.returncode == 0:
             failures.append(f"{name}: expected rejection, but it validated")
+
+    # Serve-report fixtures: same ok_/bad_ convention, different checker.
+    report_fixtures = sorted(f for f in os.listdir(REPORT_FIXTURES)
+                             if f.endswith(".json"))
+    if not any(f.startswith("ok_") for f in report_fixtures):
+        failures.append(f"no ok_*.json fixtures found in {REPORT_FIXTURES}")
+    if not any(f.startswith("bad_") for f in report_fixtures):
+        failures.append(f"no bad_*.json fixtures found in {REPORT_FIXTURES}")
+    for name in report_fixtures:
+        path = os.path.join(REPORT_FIXTURES, name)
+        proc = run_report_checker(path)
+        if name.startswith("ok_") and proc.returncode != 0:
+            failures.append(f"report/{name}: expected to validate, got:\n{proc.stdout}")
+        elif name.startswith("bad_") and proc.returncode == 0:
+            failures.append(f"report/{name}: expected rejection, but it validated")
 
     ok_wall = os.path.join(FIXTURES, "ok_wall.json")
     ok_exact = os.path.join(FIXTURES, "ok_exact.json")
@@ -128,7 +152,8 @@ def main() -> int:
             print(f"FAIL: {failure}")
         print(f"{len(failures)} failure(s)")
         return 1
-    print(f"OK: {len(fixtures)} fixtures, compare dispatch verified")
+    print(f"OK: {len(fixtures)} bench fixtures, {len(report_fixtures)} report "
+          f"fixtures, compare dispatch verified")
     return 0
 
 

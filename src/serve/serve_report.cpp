@@ -1,0 +1,230 @@
+#include "ptilu/serve/serve_report.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "ptilu/support/check.hpp"
+
+namespace ptilu::serve {
+
+namespace {
+
+void append_g(std::string& out, double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  out += buffer;
+}
+
+void append_hex16(std::string& out, std::uint64_t v) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%016llx", static_cast<unsigned long long>(v));
+  out += buffer;
+}
+
+void append_real_array(std::string& out, const std::vector<double>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ',';
+    append_g(out, values[i]);
+  }
+  out += ']';
+}
+
+template <typename Int>
+void append_int_array(std::string& out, const std::vector<Int>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  out += ']';
+}
+
+void append_histogram(std::string& out, const LatencyHistogram& hist) {
+  out += "{\"total\":";
+  out += std::to_string(hist.total());
+  out += ",\"underflow\":";
+  out += std::to_string(hist.underflow());
+  out += ",\"overflow\":";
+  out += std::to_string(hist.overflow());
+  // Sparse [index, count] pairs in index order — the dense vector is
+  // mostly zeros (kBucketCount buckets, dozens of samples).
+  out += ",\"buckets\":[";
+  bool first = true;
+  for (int i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+    const std::uint64_t count = hist.counts()[static_cast<std::size_t>(i)];
+    if (count == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '[';
+    out += std::to_string(i);
+    out += ',';
+    out += std::to_string(count);
+    out += ']';
+  }
+  out += "]}";
+}
+
+void append_rollup(std::string& out, double elapsed_s, const std::vector<double>& busy_s,
+                   const std::vector<double>& idle_s,
+                   const std::vector<std::uint64_t>& elections, double imbalance) {
+  out += "{\"elapsed_s\":";
+  append_g(out, elapsed_s);
+  out += ",\"busy_s\":";
+  append_real_array(out, busy_s);
+  out += ",\"idle_s\":";
+  append_real_array(out, idle_s);
+  out += ",\"elections\":";
+  append_int_array(out, elections);
+  out += ",\"imbalance\":";
+  append_g(out, imbalance);
+  out += '}';
+}
+
+void append_apply_section(std::string& out, const ApplySection& section) {
+  out += "{\"cap\":";
+  out += std::to_string(section.cap);
+  out += ",\"n\":";
+  out += std::to_string(section.n);
+  out += ",\"nnz\":";
+  out += std::to_string(section.nnz);
+  out += ",\"nnz_l\":";
+  out += std::to_string(section.nnz_l);
+  out += ",\"nnz_u\":";
+  out += std::to_string(section.nnz_u);
+  out += ",\"fingerprint\":\"";
+  append_hex16(out, section.fingerprint);
+  out += "\",\"costs\":{\"cache_resolve_s\":";
+  append_g(out, section.costs.cache_resolve_s);
+  out += ",\"stream_shared_s\":";
+  append_g(out, section.costs.stream_shared_s);
+  out += ",\"column_solve_s\":";
+  append_g(out, section.costs.column_solve_s);
+  out += "},\"batches\":[";
+  PTILU_CHECK(section.cache_hit.size() == section.attribution.batches.size(),
+              "serve report: one cache-hit flag per batch required");
+  for (std::size_t b = 0; b < section.attribution.batches.size(); ++b) {
+    const BatchAttribution& batch = section.attribution.batches[b];
+    if (b != 0) out += ',';
+    out += "{\"first\":";
+    out += std::to_string(batch.first);
+    out += ",\"count\":";
+    out += std::to_string(batch.count);
+    out += ",\"start_s\":";
+    append_g(out, batch.start_s);
+    out += ",\"arrival_gated\":";
+    out += batch.arrival_gated ? "true" : "false";
+    out += ",\"cache_hit\":";
+    out += section.cache_hit[b] ? "true" : "false";
+    out += ",\"arrival_s\":";
+    append_real_array(out, batch.arrival_s);
+    out += ",\"queue_wait_s\":";
+    append_real_array(out, batch.queue_wait_s);
+    out += ",\"column_solve_s\":";
+    append_real_array(out, batch.column_solve_s);
+    out += ",\"service_s\":";
+    append_g(out, batch.service_s);
+    out += ",\"straggler_column\":";
+    out += std::to_string(batch.straggler_column);
+    out += '}';
+  }
+  out += "],\"lanes\":";
+  append_rollup(out, section.attribution.lanes.elapsed_s, section.attribution.lanes.busy_s,
+                section.attribution.lanes.idle_s, section.attribution.lanes.elections,
+                section.attribution.lanes.imbalance);
+  out += ",\"latency\":{\"hist\":";
+  append_histogram(out, section.hist);
+  out += ",\"hist_p50\":";
+  append_g(out, section.hist_p50);
+  out += ",\"hist_p99\":";
+  append_g(out, section.hist_p99);
+  out += ",\"exact_p50\":";
+  append_g(out, section.exact_p50);
+  out += ",\"exact_p99\":";
+  append_g(out, section.exact_p99);
+  out += "}}";
+}
+
+void append_stream_section(std::string& out, const StreamAttribution& stream) {
+  out += "{\"streams\":";
+  out += std::to_string(stream.streams);
+  out += ",\"solves\":";
+  out += std::to_string(stream.solves);
+  out += ",\"step_s\":";
+  append_g(out, stream.step_s);
+  out += ",\"rounds\":[";
+  for (std::size_t r = 0; r < stream.rounds.size(); ++r) {
+    const StreamRound& round = stream.rounds[r];
+    if (r != 0) out += ',';
+    out += "{\"matvecs\":";
+    append_int_array(out, round.matvecs);
+    out += ",\"cost_s\":";
+    append_real_array(out, round.cost_s);
+    out += ",\"elapsed_s\":";
+    append_g(out, round.elapsed_s);
+    out += ",\"straggler\":";
+    out += std::to_string(round.straggler);
+    out += '}';
+  }
+  out += "],\"rollup\":";
+  append_rollup(out, stream.elapsed_s, stream.busy_s, stream.idle_s, stream.elections,
+                stream.imbalance);
+  out += '}';
+}
+
+}  // namespace
+
+std::string write_serve_report_json(const ServeReportV1& report) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"schema\":\"ptilu-serve-report-v1\",\"run\":{";
+  for (std::size_t i = 0; i < report.run.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    out += report.run[i].first;
+    out += "\":";
+    out += report.run[i].second;  // raw JSON value, caller-encoded
+  }
+  out += "},\"histogram_spec\":{\"sub_buckets\":";
+  out += std::to_string(LatencyHistogram::kSubBuckets);
+  out += ",\"min_exp\":";
+  out += std::to_string(LatencyHistogram::kMinExp);
+  out += ",\"max_exp\":";
+  out += std::to_string(LatencyHistogram::kMaxExp);
+  out += ",\"bucket_count\":";
+  out += std::to_string(LatencyHistogram::kBucketCount);
+  out += ",\"relative_error_bound\":";
+  append_g(out, LatencyHistogram::relative_error_bound());
+  out += ",\"shards\":";
+  out += std::to_string(report.histogram_shards);
+  out += "},\"apply\":[";
+  for (std::size_t i = 0; i < report.apply.size(); ++i) {
+    if (i != 0) out += ',';
+    append_apply_section(out, report.apply[i]);
+  }
+  out += ']';
+  if (report.has_stream) {
+    out += ",\"stream\":";
+    append_stream_section(out, report.stream);
+  }
+  out += ",\"telemetry\":{\"requests\":";
+  out += std::to_string(report.telemetry.requests);
+  out += ",\"batches\":";
+  out += std::to_string(report.telemetry.batches);
+  out += ",\"straggler_elections\":";
+  out += std::to_string(report.telemetry.straggler_elections);
+  out += ",\"histogram_merges\":";
+  out += std::to_string(report.telemetry.histogram_merges);
+  out += "}}\n";
+  return out;
+}
+
+void write_serve_report_file(const ServeReportV1& report, const std::string& path) {
+  std::ofstream file(path);
+  PTILU_CHECK(file.good(), "cannot open serve report file " << path);
+  file << write_serve_report_json(report);
+  file.flush();
+  PTILU_CHECK(file.good(), "failed writing serve report file " << path);
+}
+
+}  // namespace ptilu::serve

@@ -8,22 +8,46 @@
 
 namespace ptilu::serve {
 
-double modeled_batch_service_s(int k, idx n, std::uint64_t nnz_l, std::uint64_t nnz_u,
-                               double flop_t, double mem_t) {
+double BatchCostModel::total_s(int k) const {
   PTILU_CHECK(k >= 1, "batch size must be >= 1");
-  // Substitution flops per column: one multiply-add per off-diagonal L and
-  // U entry plus one divide per row; every column pays them.
-  const auto flops =
-      static_cast<double>(k) *
-      (2.0 * static_cast<double>(nnz_l + nnz_u) + static_cast<double>(n));
+  // Fixed fold order — resolve + (shared + column + column + ...) — so the
+  // decomposition the telemetry layer serializes re-sums to this total
+  // bit-exactly in any IEEE-754 reimplementation (check_serve_report.py).
+  double acc = stream_shared_s;
+  for (int c = 0; c < k; ++c) acc += column_solve_s;
+  return cache_resolve_s + acc;
+}
+
+BatchCostModel modeled_batch_costs(idx n, std::uint64_t nnz, std::uint64_t nnz_l,
+                                   std::uint64_t nnz_u, double flop_t, double mem_t) {
+  BatchCostModel costs;
+  // Cache resolve: the fingerprint probe reads the full operator once —
+  // row pointers, column indices, and value bit patterns (see
+  // matrix_fingerprint) — pure memory traffic, paid once per batch.
+  const double probe_bytes =
+      static_cast<double>(n + 1) * sizeof(idx) +
+      static_cast<double>(nnz) * (sizeof(real) + sizeof(idx));
+  costs.cache_resolve_s = probe_bytes * mem_t;
   // Factor traffic: the batched kernels stream L and U (index + value per
   // entry) ONCE for the whole batch — this is the term batching amortizes.
   const double factor_bytes =
       static_cast<double>(nnz_l + nnz_u) * (sizeof(real) + sizeof(idx));
-  // RHS/solution traffic is per column and not amortizable.
-  const double vector_bytes = static_cast<double>(k) * 3.0 *
-                              static_cast<double>(n) * sizeof(real);
-  return flops * flop_t + (factor_bytes + vector_bytes) * mem_t;
+  costs.stream_shared_s = factor_bytes * mem_t;
+  // Per column: one multiply-add per off-diagonal L and U entry plus one
+  // divide per row, and RHS/solution/scratch vector traffic — neither is
+  // amortizable across the batch.
+  const double column_flops =
+      2.0 * static_cast<double>(nnz_l + nnz_u) + static_cast<double>(n);
+  const double column_bytes = 3.0 * static_cast<double>(n) * sizeof(real);
+  costs.column_solve_s = column_flops * flop_t + column_bytes * mem_t;
+  return costs;
+}
+
+double modeled_batch_service_s(int k, idx n, std::uint64_t nnz_l, std::uint64_t nnz_u,
+                               double flop_t, double mem_t) {
+  BatchCostModel costs = modeled_batch_costs(n, 0, nnz_l, nnz_u, flop_t, mem_t);
+  costs.cache_resolve_s = 0.0;  // no cache on this path
+  return costs.total_s(k);
 }
 
 std::vector<Batch> plan_serve(const std::vector<Request>& schedule, int batch_max,
@@ -84,15 +108,18 @@ ServeReport replay_latencies(const std::vector<Batch>& batches,
   return report;
 }
 
-double quantile(std::vector<double> sample, double q) {
-  if (sample.empty()) return 0.0;
+SortedSample::SortedSample(std::vector<double> sample) : sorted_(std::move(sample)) {
+  PTILU_CHECK(!sorted_.empty(), "SortedSample: empty sample has no quantiles");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double SortedSample::quantile(double q) const {
   PTILU_CHECK(q >= 0.0 && q <= 1.0, "quantile order out of [0, 1]");
-  std::sort(sample.begin(), sample.end());
   // Nearest-rank: ceil(q * N)-th smallest (1-based), clamped to the ends.
   const auto rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(sample.size())));
+      std::ceil(q * static_cast<double>(sorted_.size())));
   const std::size_t index = rank == 0 ? 0 : rank - 1;
-  return sample[std::min(index, sample.size() - 1)];
+  return sorted_[std::min(index, sorted_.size() - 1)];
 }
 
 void apply_batch(const Preconditioner& factor, const DenseRhsBlock& b, DenseRhsBlock& x) {

@@ -419,9 +419,43 @@ TEST(SolveService, PlanServeFormsFifoBatchesAndReplaysLatencies) {
   ASSERT_EQ(wide.size(), 3u);  // request 1,2 still arrive after batch 0 starts
   EXPECT_EQ(wide[1].count, 2);
 
-  EXPECT_DOUBLE_EQ(serve::quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
-  EXPECT_DOUBLE_EQ(serve::quantile({3.0, 1.0, 2.0}, 1.0), 3.0);
-  EXPECT_DOUBLE_EQ(serve::quantile({3.0, 1.0, 2.0}, 0.0), 1.0);
+  const serve::SortedSample sample({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(sample.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(sample.quantile(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(sample.quantile(0.0), 1.0);
+}
+
+TEST(SolveService, SortedSampleEdgeCases) {
+  // Empty samples have no quantiles: construction throws instead of the
+  // old free quantile()'s silent 0.0.
+  EXPECT_THROW(serve::SortedSample(std::vector<double>{}), Error);
+
+  // A single sample answers every quantile with itself.
+  const serve::SortedSample one({7.5});
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 7.5);
+
+  // The sample is sorted ONCE at construction; values() exposes it.
+  const serve::SortedSample sorted({4.0, 2.0, 3.0, 1.0});
+  EXPECT_EQ(sorted.size(), 4u);
+  EXPECT_DOUBLE_EQ(sorted.values().front(), 1.0);
+  EXPECT_DOUBLE_EQ(sorted.values().back(), 4.0);
+  EXPECT_DOUBLE_EQ(sorted.quantile(0.0), 1.0);  // q=0 clamps to the minimum
+  EXPECT_DOUBLE_EQ(sorted.quantile(1.0), 4.0);  // q=1 is the maximum
+  // Nearest-rank: ceil(0.5 * 4) = rank 2 -> second smallest.
+  EXPECT_DOUBLE_EQ(sorted.quantile(0.5), 2.0);
+  // ceil(0.51 * 4) = rank 3.
+  EXPECT_DOUBLE_EQ(sorted.quantile(0.51), 3.0);
+
+  // Ties: the tied value is returned for every rank it occupies.
+  const serve::SortedSample ties({5.0, 5.0, 5.0, 9.0});
+  EXPECT_DOUBLE_EQ(ties.quantile(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(ties.quantile(0.75), 5.0);
+  EXPECT_DOUBLE_EQ(ties.quantile(0.76), 9.0);
+
+  EXPECT_THROW(sorted.quantile(-0.1), Error);
+  EXPECT_THROW(sorted.quantile(1.1), Error);
 }
 
 TEST(SolveService, ModeledBatchServiceIsSubadditive) {
